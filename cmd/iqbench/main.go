@@ -1,0 +1,152 @@
+// Command iqbench regenerates the paper's evaluation: Figure 2, Table 2,
+// Figure 3, the in-text measurements (§4.3, §4.4, §4.5, §6.1) and the
+// design-choice ablations. Output is the textual equivalent of each table
+// or figure; EXPERIMENTS.md records a captured run against the paper's
+// numbers.
+//
+// Examples:
+//
+//	iqbench                         # everything, default sample sizes
+//	iqbench -experiment fig2
+//	iqbench -experiment fig3 -n 100000 -warm 500000
+//	iqbench -experiment table2 -benchmarks swim,equake
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, or all")
+		n       = flag.Int64("n", 0, "measured instructions per run (0 = default)")
+		warm    = flag.Int64("warm", 0, "warm-up instructions per run (0 = default)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	if *n > 0 {
+		o.Instructions = *n
+	}
+	if *warm > 0 {
+		o.Warmup = *warm
+	}
+	o.Seed = *seed
+	o.Parallel = *par
+	if *benches != "" {
+		o.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	all := *exp == "all"
+	any := false
+	if all || *exp == "fig2" {
+		any = true
+		run("fig2", func() error {
+			r, err := experiments.Fig2(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 2: 512-entry segmented IQ relative to ideal 512-entry IQ")
+			fmt.Print(r.Table().String())
+			return nil
+		})
+	}
+	if all || *exp == "table2" {
+		any = true
+		run("table2", func() error {
+			r, err := experiments.Table2(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Table 2: chain usage, 512-entry segmented IQ, unlimited chains")
+			fmt.Print(r.Table().String())
+			return nil
+		})
+	}
+	if all || *exp == "fig3" {
+		any = true
+		run("fig3", func() error {
+			r, err := experiments.Fig3(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 3: IPC across IQ sizes (prescheduled cells show their own capacity)")
+			tabs := r.Tables()
+			for _, wl := range r.Benchmarks {
+				fmt.Print(tabs[wl].String())
+				fmt.Println()
+			}
+			return nil
+		})
+	}
+	if all || *exp == "intext" {
+		any = true
+		run("intext", func() error {
+			r, err := experiments.InText(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("In-text measurements (§4.3, §4.4, §4.5, §6.1)")
+			fmt.Print(experiments.InTextTable(r).String())
+			return nil
+		})
+	}
+	if all || *exp == "related" {
+		any = true
+		run("related", func() error {
+			r, err := experiments.RelatedWork(o, 256)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Related work (§2): dependence-based designs at 256 slots")
+			fmt.Print(r.Table().String())
+			return nil
+		})
+	}
+	if all || *exp == "power" {
+		any = true
+		run("power", func() error {
+			r, err := experiments.Power(o, 512, experiments.DefaultEnergyWeights())
+			if err != nil {
+				return err
+			}
+			fmt.Println("Power proxy (§7): 512-entry queues, event-energy units per instruction")
+			fmt.Print(r.Table().String())
+			return nil
+		})
+	}
+	if all || *exp == "ablations" {
+		any = true
+		run("ablations", func() error {
+			r, err := experiments.Ablations(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Design ablations: IPC at 512 entries, 128 chains, HMP+LRP")
+			fmt.Print(r.Table().String())
+			return nil
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "iqbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,49 @@
+// Command tracedump inspects the synthetic workload generators: it prints
+// a dynamic-property profile (instruction mix, working set, dependence
+// distance) for each workload, or disassembles a stream prefix.
+//
+// Examples:
+//
+//	tracedump                       # profile every workload
+//	tracedump -workload swim -n 200000
+//	tracedump -workload gcc -disasm 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to profile (default: all)")
+		n        = flag.Int("n", 100_000, "instructions to profile")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		disasm   = flag.Int("disasm", 0, "print the first N instructions instead of a profile")
+	)
+	flag.Parse()
+
+	names := trace.Names()
+	if *workload != "" {
+		names = []string{*workload}
+	}
+	for _, name := range names {
+		s, err := trace.New(name, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(1)
+		}
+		if *disasm > 0 {
+			fmt.Printf("%s (seed %d):\n", name, *seed)
+			for _, in := range trace.Take(s, *disasm) {
+				fmt.Println(" ", in.String())
+			}
+			continue
+		}
+		fmt.Print(trace.Characterize(s, *n).String())
+		fmt.Println()
+	}
+}

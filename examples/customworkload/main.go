@@ -1,0 +1,75 @@
+// Customworkload: define your own workload with the public builder API
+// and measure how each instruction-queue design schedules it. The kernel
+// here is a classic histogram loop — an indexed gather/scatter whose
+// update address depends on a loaded value, so every iteration creates a
+// two-operand indirection (chain-hungry, like equake).
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	iqsim "repro"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func buildHistogram(seed uint64) trace.Stream {
+	const (
+		keysBase = 0x1000_0000
+		keysSize = 1 << 20 // 1 MB key stream
+		binsBase = 0x2000_0000
+		binsSize = 8 << 20 // 8 MB of bins: indirect misses to memory
+	)
+	keys := trace.StreamAddr(keysBase, keysSize, 8)
+	bins := trace.RandAddr(seed, binsBase, binsSize, 8)
+	binsW := trace.RandAddr(seed, binsBase, binsSize, 8) // same sequence: read-modify-write
+
+	r1, r2, r3, r4 := isa.IntReg(1), isa.IntReg(2), isa.IntReg(3), isa.IntReg(4)
+	b := iqsim.NewWorkloadBuilder("histogram", 0x50_0000)
+	b.Block("top")
+	b.Op(isa.IntAlu, r1, r1, isa.IntReg(30))       // i++
+	b.Load(r2, r1, 8, keys)                        // key = keys[i]        (streams)
+	b.LoadIndexed(r3, isa.IntReg(30), r2, 8, bins) // count = bins[key] (indirect)
+	b.Op(isa.IntAlu, r4, r3, isa.IntReg(30))       // count+1
+	b.Store(r4, r2, 8, binsW)                      // bins[key] = count+1
+	b.Branch(isa.IntReg(10), "top", trace.LoopTaken(256))
+	s, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func main() {
+	const (
+		n    = 30_000
+		warm = 200_000
+	)
+	configs := []struct {
+		name string
+		cfg  iqsim.Config
+	}{
+		{"ideal 256", iqsim.Ideal(256)},
+		{"segmented 256 (128ch, comb)", iqsim.Segmented(256, 128, true, true)},
+		{"prescheduled 320", iqsim.Prescheduled(320)},
+		{"fifos 256", iqsim.FIFOBased(256)},
+		{"distance 320", iqsim.Distance(320)},
+	}
+	fmt.Println("custom histogram kernel (indirect read-modify-write):")
+	for _, c := range configs {
+		res, err := iqsim.RunStream(c.cfg, buildHistogram(7), n, warm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		extra := ""
+		if v, ok := res.Stats.Get("chains_avg"); ok {
+			extra = fmt.Sprintf("  (chains avg %.0f)", v)
+		}
+		fmt.Printf("  %-28s IPC %.3f%s\n", c.name, res.IPC, extra)
+	}
+	fmt.Println("\nEach iteration's bin update is an indirection: the segmented queue")
+	fmt.Println("chains it behind the key load and keeps segment 0 for ready work.")
+}

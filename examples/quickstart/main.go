@@ -1,0 +1,58 @@
+// Quickstart: simulate the paper's headline configuration — a 512-entry
+// segmented instruction queue with 128 chain wires and both predictors —
+// on the swim-like memory-bound workload, and compare it with an ideal
+// monolithic queue of the same size and a conventional 32-entry queue.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	iqsim "repro"
+)
+
+func main() {
+	const (
+		workload = "swim"
+		seed     = 1
+		n        = 50_000  // measured instructions
+		warm     = 300_000 // functional fast-forward
+	)
+
+	configs := []struct {
+		name string
+		cfg  iqsim.Config
+	}{
+		{"conventional 32-entry", iqsim.Ideal(32)},
+		{"ideal 512-entry", iqsim.Ideal(512)},
+		{"segmented 512-entry, 128 chains, HMP+LRP", iqsim.Segmented(512, 128, true, true)},
+	}
+
+	fmt.Printf("workload %s: %d instructions after %d warm-up\n\n", workload, n, warm)
+	var base, ideal float64
+	for _, c := range configs {
+		res, err := iqsim.Run(c.cfg, workload, seed, n, warm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-42s IPC %.3f  (%d cycles)\n", c.name, res.IPC, res.Cycles)
+		switch c.name {
+		case "conventional 32-entry":
+			base = res.IPC
+		case "ideal 512-entry":
+			ideal = res.IPC
+		default:
+			fmt.Printf("\n  vs 32-entry conventional: %+.0f%%   (paper: large gains for FP)\n",
+				100*(res.IPC/base-1))
+			fmt.Printf("  of 512-entry ideal:       %.0f%%    (paper: 55-98%%)\n",
+				100*res.IPC/ideal)
+			fmt.Printf("  chains in use (avg/peak): %.0f / %.0f\n",
+				res.Stats.MustGet("chains_avg"), res.Stats.MustGet("chains_peak"))
+			fmt.Printf("  promotions: %.0f   pushdowns: %.0f   deadlock recoveries: %.0f\n",
+				res.Stats.MustGet("iq_promotions"), res.Stats.MustGet("iq_pushdowns"),
+				res.Stats.MustGet("deadlock_recoveries"))
+		}
+	}
+}

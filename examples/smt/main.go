@@ -1,0 +1,57 @@
+// SMT: the paper's §7 future work — "the dynamic inter-chain scheduling
+// of our segmented IQ should allow chains from independent threads to
+// exploit thread-level parallelism effectively." This example co-schedules
+// a latency-bound pointer chaser (twolf) with a cache-resident FP kernel
+// (mgrid) on one segmented queue and compares aggregate throughput with
+// each workload running alone.
+//
+//	go run ./examples/smt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	iqsim "repro"
+)
+
+func main() {
+	const (
+		n    = 40_000
+		warm = 300_000
+	)
+	cfg := iqsim.Segmented(512, 128, true, true)
+
+	pair := []string{"twolf", "gcc"}
+	single := map[string]float64{}
+	for i, w := range pair {
+		res, err := iqsim.Run(cfg, w, uint64(1+i), n, warm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		single[w] = res.IPC
+		fmt.Printf("%-18s alone: IPC %.3f\n", w, res.IPC)
+	}
+
+	smt, err := iqsim.RunSMT(cfg, pair, 1, 2*n, warm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s SMT:   IPC %.3f  (per thread: %s %d, %s %d)\n",
+		pair[0]+"+"+pair[1], smt.IPC, pair[0], smt.PerThread[0], pair[1], smt.PerThread[1])
+
+	sum := single[pair[0]] + single[pair[1]]
+	fmt.Printf("\nthroughput vs best single thread: %.2fx\n", smt.IPC/max(single[pair[0]], single[pair[1]]))
+	fmt.Printf("throughput vs sum of singles:     %.0f%%\n", 100*smt.IPC/sum)
+	fmt.Printf("chains in use (avg):              %.0f\n", smt.Stats.MustGet("chains_avg"))
+	fmt.Println("\nBoth workloads stall constantly (pointer chase, mispredicts); their chains")
+	fmt.Println("interleave in the shared queue, so one thread's stalls hide behind the")
+	fmt.Println("other's work — the inter-chain dynamic scheduling §7 anticipates.")
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package bpred
+
+import "fmt"
+
+// BTB is the branch target buffer of Table 1: 4K entries, 4-way set
+// associative, true-LRU replacement within a set.
+type BTB struct {
+	sets  int
+	ways  int
+	lines []btbEntry // sets*ways, grouped by set
+
+	lookups uint64
+	hits    uint64
+	stamp   uint64
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	lru    uint64 // larger = more recently used
+}
+
+// NewBTB builds a BTB with the given total entry count and associativity.
+func NewBTB(entries, ways int) (*BTB, error) {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		return nil, fmt.Errorf("bpred: invalid BTB geometry %d entries / %d ways", entries, ways)
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("bpred: BTB set count %d must be a power of two", sets)
+	}
+	return &BTB{sets: sets, ways: ways, lines: make([]btbEntry, entries)}, nil
+}
+
+// MustNewBTB is NewBTB for known-good geometries.
+func MustNewBTB(entries, ways int) *BTB {
+	b, err := NewBTB(entries, ways)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (b *BTB) set(pc uint64) ([]btbEntry, uint64) {
+	idx := int((pc >> 2) & uint64(b.sets-1))
+	return b.lines[idx*b.ways : (idx+1)*b.ways], (pc >> 2) / uint64(b.sets)
+}
+
+// Lookup returns the stored target for the branch at pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	b.lookups++
+	set, tag := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			b.stamp++
+			set[i].lru = b.stamp
+			b.hits++
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the target of the branch at pc, evicting the set's LRU
+// entry if necessary.
+func (b *BTB) Insert(pc, target uint64) {
+	set, tag := b.set(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			victim = i
+			break
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	b.stamp++
+	set[victim] = btbEntry{valid: true, tag: tag, target: target, lru: b.stamp}
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}

@@ -1,0 +1,60 @@
+// Package bpred implements the prediction structures used by the
+// simulator: the hybrid local/global branch predictor and branch target
+// buffer of Table 1, and the two chain-reduction predictors of the paper —
+// the load hit/miss predictor (HMP, §4.4) and the left/right critical
+// operand predictor (LRP, §4.3).
+package bpred
+
+import "fmt"
+
+// SatCounter is an n-bit saturating counter, the building block of every
+// predictor in this package.
+type SatCounter struct {
+	v   uint32
+	max uint32
+}
+
+// NewSatCounter returns a counter of the given bit width initialised to v.
+func NewSatCounter(bits int, v uint32) SatCounter {
+	if bits < 1 || bits > 31 {
+		panic(fmt.Sprintf("bpred: counter width %d out of range", bits))
+	}
+	c := SatCounter{max: (1 << bits) - 1}
+	c.Set(v)
+	return c
+}
+
+// Inc increments, saturating at the maximum.
+func (c *SatCounter) Inc() {
+	if c.v < c.max {
+		c.v++
+	}
+}
+
+// Dec decrements, saturating at zero.
+func (c *SatCounter) Dec() {
+	if c.v > 0 {
+		c.v--
+	}
+}
+
+// Clear resets the counter to zero.
+func (c *SatCounter) Clear() { c.v = 0 }
+
+// Set assigns a value, clamping to the counter's range.
+func (c *SatCounter) Set(v uint32) {
+	if v > c.max {
+		v = c.max
+	}
+	c.v = v
+}
+
+// Value returns the current count.
+func (c SatCounter) Value() uint32 { return c.v }
+
+// Max returns the saturation value.
+func (c SatCounter) Max() uint32 { return c.max }
+
+// MSB reports whether the counter's top bit is set — the usual
+// taken/not-taken decision point.
+func (c SatCounter) MSB() bool { return c.v > c.max/2 }

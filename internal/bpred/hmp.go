@@ -1,0 +1,111 @@
+package bpred
+
+import "fmt"
+
+// HitMissPredictor is the dynamic cache hit/miss predictor of §4.4: a
+// PC-indexed table of 4-bit saturating counters, incremented on a hit,
+// cleared on a miss, predicting "hit" only when the counter exceeds a high
+// confidence threshold (13 in the paper). The segmented IQ uses it to
+// avoid creating chains for loads that will almost certainly hit the L1.
+type HitMissPredictor struct {
+	table     []SatCounter
+	threshold uint32
+
+	hitPreds        uint64 // predictions that said "hit"
+	hitPredsCorrect uint64 // ... that were actually hits
+	actualHits      uint64
+	actualMisses    uint64
+}
+
+// HMPDefaultEntries is the predictor table size. The paper does not state
+// one; 4K PC-indexed entries comfortably covers the static load footprint
+// of the workloads.
+const HMPDefaultEntries = 4096
+
+// HMPDefaultThreshold reproduces the paper: "predict a hit only if the
+// counter is greater than 13".
+const HMPDefaultThreshold = 13
+
+// NewHMP builds a hit/miss predictor with the given table size (a power of
+// two) and confidence threshold.
+func NewHMP(entries int, threshold uint32) (*HitMissPredictor, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("bpred: HMP entries %d must be a positive power of two", entries)
+	}
+	if threshold > 15 {
+		return nil, fmt.Errorf("bpred: HMP threshold %d exceeds 4-bit counter range", threshold)
+	}
+	h := &HitMissPredictor{table: make([]SatCounter, entries), threshold: threshold}
+	for i := range h.table {
+		h.table[i] = NewSatCounter(4, 0)
+	}
+	return h, nil
+}
+
+// MustNewHMP is NewHMP with the default geometry on error-free inputs.
+func MustNewHMP() *HitMissPredictor {
+	h, err := NewHMP(HMPDefaultEntries, HMPDefaultThreshold)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func (h *HitMissPredictor) slot(pc uint64) *SatCounter {
+	return &h.table[(pc>>2)&uint64(len(h.table)-1)]
+}
+
+// PredictHit reports whether the load at pc is confidently predicted to
+// hit in the L1 data cache.
+func (h *HitMissPredictor) PredictHit(pc uint64) bool {
+	pred := h.slot(pc).Value() > h.threshold
+	if pred {
+		h.hitPreds++
+	}
+	return pred
+}
+
+// Update trains the predictor with the actual outcome of the load at pc.
+// The caller must have called PredictHit for this dynamic load first if it
+// wants accuracy accounting to be meaningful.
+func (h *HitMissPredictor) Update(pc uint64, hit bool) {
+	c := h.slot(pc)
+	wasHitPred := c.Value() > h.threshold
+	if hit {
+		h.actualHits++
+		if wasHitPred {
+			h.hitPredsCorrect++
+		}
+		c.Inc()
+	} else {
+		h.actualMisses++
+		c.Clear()
+	}
+}
+
+// HitPredictionAccuracy returns the fraction of "hit" predictions that
+// were actually hits (the paper reports >98%).
+func (h *HitMissPredictor) HitPredictionAccuracy() float64 {
+	if h.hitPreds == 0 {
+		return 0
+	}
+	return float64(h.hitPredsCorrect) / float64(h.hitPreds)
+}
+
+// HitCoverage returns the fraction of actual hits that were predicted as
+// hits (the paper reports >83% on average).
+func (h *HitMissPredictor) HitCoverage() float64 {
+	if h.actualHits == 0 {
+		return 0
+	}
+	return float64(h.hitPredsCorrect) / float64(h.actualHits)
+}
+
+// ActualHitRate returns the observed load hit rate.
+func (h *HitMissPredictor) ActualHitRate() float64 {
+	total := h.actualHits + h.actualMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(h.actualHits) / float64(total)
+}

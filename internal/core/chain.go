@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/stats"
+)
+
+// chain identifies an allocated chain wire. Wires are recycled, so a
+// generation number distinguishes a wire's current use from signals still
+// in flight from a previous use.
+type chain struct {
+	id  int
+	gen uint32
+}
+
+// chainNone marks membership in no chain: a purely self-timed delay
+// counter for instructions whose latency was fully predictable at
+// dispatch.
+var chainNone = chain{id: -1}
+
+// real reports whether the chain refers to an actual chain wire.
+func (c chain) real() bool { return c.id >= 0 }
+
+// chainPool allocates and frees chain wires, tracking the usage statistics
+// of Table 2 (average and peak chains in use).
+type chainPool struct {
+	max   int // 0 = unlimited
+	free  []int
+	gens  []uint32
+	inUse int
+
+	usage   stats.Mean // sampled once per cycle by the owner
+	peak    stats.Peak
+	created stats.Counter
+}
+
+func newChainPool(max int) *chainPool {
+	p := &chainPool{max: max}
+	if max > 0 {
+		p.gens = make([]uint32, max)
+		p.free = make([]int, max)
+		for i := range p.free {
+			p.free[i] = max - 1 - i // allocate low ids first
+		}
+	}
+	return p
+}
+
+// alloc returns a fresh chain, or ok=false if every wire is busy.
+func (p *chainPool) alloc() (chain, bool) {
+	var id int
+	if p.max > 0 {
+		if len(p.free) == 0 {
+			return chainNone, false
+		}
+		id = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+	} else {
+		if len(p.free) > 0 {
+			id = p.free[len(p.free)-1]
+			p.free = p.free[:len(p.free)-1]
+		} else {
+			id = len(p.gens)
+			p.gens = append(p.gens, 0)
+		}
+	}
+	p.inUse++
+	p.peak.Set(int64(p.inUse))
+	p.created.Inc()
+	return chain{id: id, gen: p.gens[id]}, true
+}
+
+// release returns a chain's wire to the pool and bumps its generation so
+// in-flight signals from this use are ignored by later users.
+func (p *chainPool) release(c chain) {
+	if !c.real() {
+		return
+	}
+	p.gens[c.id]++
+	p.free = append(p.free, c.id)
+	p.inUse--
+}
+
+// sample records the current usage level for the per-cycle average.
+func (p *chainPool) sample() { p.usage.Observe(float64(p.inUse)) }
+
+// sigType is the kind of event a chain head broadcasts on its wire.
+type sigType uint8
+
+const (
+	// sigAdvance: the head was promoted one segment, or issued (observed
+	// with head location zero). Members decrement their delay by two and
+	// their head location by one, or enter self-timed mode.
+	sigAdvance sigType = iota
+	// sigSuspend: the head (a load) was discovered not to complete within
+	// its predicted latency; members pause self-timing (§3.4).
+	sigSuspend
+	// sigResume: the head completed; members resume self-timing.
+	sigResume
+)
+
+// signal is one chain-wire assertion.
+type signal struct {
+	ch  chain
+	typ sigType
+}
+
+// wirePipe models the pipelined chain wires of §3.3: the signals asserted
+// in segment k during a cycle are observed by segment k's entries that
+// cycle and by segment k+1's entries the next cycle. Position Segments
+// (one past the top segment) is the register information table in the
+// dispatch stage.
+type wirePipe struct {
+	nSegs int
+	// cur[k] holds the signals present in segment k this cycle; cur[nSegs]
+	// is the table position.
+	cur [][]signal
+}
+
+func newWirePipe(nSegs int) *wirePipe {
+	return &wirePipe{nSegs: nSegs, cur: make([][]signal, nSegs+1)}
+}
+
+// shift advances every signal one position upward, returning the new
+// per-position signal sets. Signals leaving the table position vanish.
+func (w *wirePipe) shift() {
+	next := make([][]signal, w.nSegs+1)
+	for k := w.nSegs; k >= 1; k-- {
+		next[k] = w.cur[k-1]
+	}
+	w.cur = next
+}
+
+// assert adds a signal at segment position k for this cycle.
+func (w *wirePipe) assert(k int, s signal) {
+	w.cur[k] = append(w.cur[k], s)
+}
+
+// at returns the signals present at position k this cycle.
+func (w *wirePipe) at(k int) []signal { return w.cur[k] }

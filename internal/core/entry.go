@@ -1,0 +1,197 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/uop"
+)
+
+// chainRef is one chain membership of a queue entry: the per-IQ-entry
+// per-chain fields of §3.3 (chain ID, delay value, chain-head location,
+// self-timed flag), plus the suspend flag of §3.4.
+type chainRef struct {
+	ch        chain
+	delay     int
+	headLoc   int
+	selfTimed bool
+	suspended bool
+}
+
+// observe applies one chain-wire assertion to the reference.
+func (cr *chainRef) observe(s signal) {
+	if cr.ch != s.ch {
+		return
+	}
+	switch s.typ {
+	case sigAdvance:
+		if cr.selfTimed {
+			return // stale: the head already issued
+		}
+		if cr.headLoc > 0 {
+			cr.headLoc--
+			cr.delay -= 2
+			if cr.delay < 0 {
+				cr.delay = 0
+			}
+		} else {
+			// Head-location zero: this assertion is the head's issue.
+			cr.selfTimed = true
+		}
+	case sigSuspend:
+		cr.suspended = true
+	case sigResume:
+		cr.suspended = false
+	}
+}
+
+// tick advances self-timed countdown by one cycle.
+func (cr *chainRef) tick() {
+	if cr.selfTimed && !cr.suspended && cr.delay > 0 {
+		cr.delay--
+	}
+}
+
+// entry is the segmented IQ's per-instruction state. It lives from
+// dispatch to writeback (chains are deallocated at head writeback, after
+// the entry has left the queue segments).
+type entry struct {
+	u   *uop.UOp
+	seg int
+	// arrived is the cycle the entry entered its current segment (or was
+	// dispatched); it may not move again, or issue, in that same cycle.
+	arrived int64
+
+	refs  [2]chainRef
+	nrefs int
+
+	isHead bool
+	head   chain
+
+	// lrpTracked marks an instruction whose left/right prediction must be
+	// scored and trained when both operand arrival times are known.
+	lrpTracked bool
+	// pushedDown marks an entry whose last promotion came from the
+	// pushdown mechanism (stats only).
+	pushedDown bool
+}
+
+// effDelay returns the entry's effective delay value: the maximum over its
+// chain memberships (§3.2: an instruction on two chains dynamically uses
+// the larger value, indicating the later-arriving operand).
+func (e *entry) effDelay() int {
+	d := 0
+	for i := 0; i < e.nrefs; i++ {
+		if e.refs[i].delay > d {
+			d = e.refs[i].delay
+		}
+	}
+	return d
+}
+
+// observe applies a chain-wire assertion to all memberships.
+func (e *entry) observe(s signal) {
+	for i := 0; i < e.nrefs; i++ {
+		e.refs[i].observe(s)
+	}
+}
+
+// tick advances self-timed countdowns.
+func (e *entry) tick() {
+	for i := 0; i < e.nrefs; i++ {
+		e.refs[i].tick()
+	}
+}
+
+// regEntry is one register's row in the register information table of
+// §3.3: the chain that will produce the register, the value's expected
+// latency relative to the chain head's issue, the head's current segment,
+// and the self-timed flag (plus suspension, mirroring chain state).
+type regEntry struct {
+	valid     bool
+	producer  *uop.UOp
+	ch        chain
+	latency   int
+	headLoc   int
+	selfTimed bool
+	suspended bool
+}
+
+// outstanding reports whether the register's value is still to be
+// produced for scheduling purposes. Per §3.3, once a self-timed entry's
+// latency reaches zero the value is assumed available.
+func (re *regEntry) outstanding() bool {
+	return re.valid && !(re.selfTimed && re.latency == 0)
+}
+
+// observe applies a chain-wire assertion to the table row. The latency
+// field is relative to head issue, so promotions adjust only the head
+// location; the issue assertion starts the self-timed countdown.
+func (re *regEntry) observe(s signal) {
+	if !re.valid || re.ch != s.ch {
+		return
+	}
+	switch s.typ {
+	case sigAdvance:
+		if re.selfTimed {
+			return
+		}
+		if re.headLoc > 0 {
+			re.headLoc--
+		} else {
+			re.selfTimed = true
+		}
+	case sigSuspend:
+		re.suspended = true
+	case sigResume:
+		re.suspended = false
+	}
+}
+
+// tick advances the self-timed latency countdown.
+func (re *regEntry) tick() {
+	if re.valid && re.selfTimed && !re.suspended && re.latency > 0 {
+		re.latency--
+	}
+}
+
+// regTable is the dispatch stage's register information table, replicated
+// per hardware context under SMT.
+type regTable []regEntry
+
+func newRegTable(threads int) regTable {
+	if threads < 1 {
+		threads = 1
+	}
+	return make(regTable, threads*isa.NumRegs)
+}
+
+// row returns the entry for a thread's architectural register.
+func (t regTable) row(thread, reg int) *regEntry {
+	return &t[thread*isa.NumRegs+reg]
+}
+
+// observe applies a signal to every row.
+func (t regTable) observe(s signal) {
+	for i := range t {
+		t[i].observe(s)
+	}
+}
+
+// tick advances all self-timed rows.
+func (t regTable) tick() {
+	for i := range t {
+		t[i].tick()
+	}
+}
+
+// clearProducer invalidates the row for u's destination if u is still its
+// recorded producer (a younger writer may have replaced it).
+func (t regTable) clearProducer(u *uop.UOp) {
+	if !u.Inst.HasDest() {
+		return
+	}
+	re := t.row(u.Thread, u.Inst.Dest)
+	if re.valid && re.producer == u {
+		re.valid = false
+		re.producer = nil
+	}
+}

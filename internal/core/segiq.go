@@ -1,0 +1,768 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bpred"
+	"repro/internal/iq"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/uop"
+)
+
+// SegmentedIQ is the paper's segmented, dependence-chain-scheduled
+// instruction queue. It implements iq.Queue.
+type SegmentedIQ struct {
+	cfg    Config
+	segs   [][]*entry // segs[0] is the bottom segment / issue buffer
+	chains *chainPool
+	wires  *wirePipe
+	table  regTable
+
+	hmp *bpred.HitMissPredictor
+	lrp *bpred.LeftRightPredictor
+
+	prevFree []int // per-segment free slots at the end of the previous cycle
+	total    int   // occupied slots across all segments
+	// active is the number of powered segments (§7 dynamic resizing):
+	// dispatch only targets segments below it; gated segments drain and
+	// stay empty.
+	active int
+
+	curCycle            int64
+	issuedThisCycle     int
+	promotedThisCycle   int
+	dispatchedThisCycle int
+	recoverPending      bool
+
+	stDispatched     stats.Counter
+	stIssued         stats.Counter
+	stStallFull      stats.Counter
+	stStallNoChain   stats.Counter
+	stPromotions     stats.Counter
+	stPushdowns      stats.Counter
+	stHeads          stats.Counter
+	stHeadLoads      stats.Counter
+	stHeadTwoChain   stats.Counter
+	stTwoOutstanding stats.Counter
+	stTwoDiffChains  stats.Counter
+	stDeadlockCycles stats.Counter
+	stRecoveries     stats.Counter
+	stWireAsserts    stats.Counter
+	stOccupancy      stats.Mean
+	stActiveSegs     stats.Mean
+	stSegOcc         []stats.Mean // per-segment occupancy
+	stReadySeg0      stats.Mean
+	stReadyTotal     stats.Mean
+	stDispatchSeg    stats.Mean
+}
+
+// New builds a segmented IQ from cfg.
+func New(cfg Config) (*SegmentedIQ, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	q := &SegmentedIQ{
+		cfg:      cfg,
+		segs:     make([][]*entry, cfg.Segments),
+		chains:   newChainPool(cfg.MaxChains),
+		wires:    newWirePipe(cfg.Segments),
+		table:    newRegTable(cfg.Threads),
+		prevFree: make([]int, cfg.Segments),
+		active:   cfg.Segments,
+		stSegOcc: make([]stats.Mean, cfg.Segments),
+	}
+	for k := range q.prevFree {
+		q.prevFree[k] = cfg.SegSize
+	}
+	if cfg.UseHMP {
+		q.hmp = bpred.MustNewHMP()
+	}
+	if cfg.UseLRP {
+		q.lrp = bpred.MustNewLRP()
+	}
+	return q, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *SegmentedIQ {
+	q, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Name implements iq.Queue.
+func (q *SegmentedIQ) Name() string { return "segmented" }
+
+// Capacity implements iq.Queue.
+func (q *SegmentedIQ) Capacity() int { return q.cfg.Segments * q.cfg.SegSize }
+
+// Len implements iq.Queue.
+func (q *SegmentedIQ) Len() int { return q.total }
+
+// ExtraDispatchStages implements iq.Queue: the paper charges the segmented
+// design one extra dispatch cycle for chain assignment.
+func (q *SegmentedIQ) ExtraDispatchStages() int { return 1 }
+
+// Config returns the queue's configuration.
+func (q *SegmentedIQ) Config() Config { return q.cfg }
+
+// deliverSeg applies a signal to every entry in segment k.
+func (q *SegmentedIQ) deliverSeg(k int, s signal) {
+	for _, e := range q.segs[k] {
+		e.observe(s)
+	}
+}
+
+// catchUp delivers the signals currently present at segment k to an entry
+// that just arrived there. Signals propagate upward while instructions
+// move downward; without this, an instruction moving into a segment in
+// the same cycle a signal sits there would cross it in flight and miss it
+// permanently (e.g. a chain resume, leaving the member suspended forever).
+func (q *SegmentedIQ) catchUp(e *entry, k int) {
+	if q.cfg.InstantWires {
+		return
+	}
+	for _, s := range q.wires.at(k) {
+		e.observe(s)
+	}
+}
+
+// assertAt asserts a chain-wire signal at segment position k. In the
+// pipelined model the signal is observed by segment k now and moves one
+// segment up per cycle; with InstantWires it reaches everything above k
+// immediately.
+//
+// The register information table observes every assertion in the
+// asserting cycle, with no pipeline lag: the chain wires terminate at the
+// dispatch stage. A lagged table would hand newly dispatched instructions
+// stale (too-high) head locations; with segment bypass those instructions
+// would then wait forever for advance assertions that had already passed
+// below them.
+func (q *SegmentedIQ) assertAt(k int, s signal) {
+	q.stWireAsserts.Inc()
+	q.table.observe(s)
+	if q.cfg.InstantWires {
+		for kk := k; kk < q.cfg.Segments; kk++ {
+			q.deliverSeg(kk, s)
+		}
+		return
+	}
+	q.wires.assert(k, s)
+	q.deliverSeg(k, s)
+}
+
+// BeginCycle implements iq.Queue: wire propagation, self-timed countdown,
+// deadlock recovery, promotion and pushdown.
+func (q *SegmentedIQ) BeginCycle(cycle int64) {
+	q.curCycle = cycle
+	q.issuedThisCycle = 0
+	q.promotedThisCycle = 0
+	q.dispatchedThisCycle = 0
+
+	// Promotion this cycle may use only the slots that were free at the
+	// end of the previous cycle (§3.1: availability cannot be computed and
+	// propagated through the whole queue in one cycle).
+	for k := range q.segs {
+		q.prevFree[k] = q.cfg.SegSize - len(q.segs[k])
+	}
+
+	// Advance the pipelined chain wires one segment and deliver. (The
+	// register table saw each assertion already, in its asserting cycle.)
+	if !q.cfg.InstantWires {
+		q.wires.shift()
+		for k := 0; k < q.cfg.Segments; k++ {
+			for _, s := range q.wires.at(k) {
+				q.deliverSeg(k, s)
+			}
+		}
+	}
+
+	// Self-timed countdowns.
+	for k := range q.segs {
+		for _, e := range q.segs[k] {
+			e.tick()
+		}
+	}
+	q.table.tick()
+
+	if q.recoverPending {
+		q.recoverPending = false
+		q.recover(cycle)
+	}
+
+	q.promote(cycle)
+
+	// Statistics.
+	q.stOccupancy.Observe(float64(q.total))
+	q.stActiveSegs.Observe(float64(q.active))
+	for k := range q.segs {
+		q.stSegOcc[k].Observe(float64(len(q.segs[k])))
+	}
+	ready0, readyAll := 0, 0
+	for k := range q.segs {
+		for _, e := range q.segs[k] {
+			if e.u.Ready(cycle) {
+				readyAll++
+				if k == 0 {
+					ready0++
+				}
+			}
+		}
+	}
+	q.stReadySeg0.Observe(float64(ready0))
+	q.stReadyTotal.Observe(float64(readyAll))
+	q.chains.sample()
+}
+
+// promote moves eligible instructions one segment downward, oldest first,
+// bounded by inter-segment bandwidth (= issue width) and the destination
+// slots free at the end of the previous cycle; then applies pushdown
+// (§4.1) with any remaining bandwidth.
+func (q *SegmentedIQ) promote(cycle int64) {
+	for k := 1; k < q.cfg.Segments; k++ {
+		dest := k - 1
+		budget := q.cfg.IssueWidth
+		if q.prevFree[dest] < budget {
+			budget = q.prevFree[dest]
+		}
+		if free := q.cfg.SegSize - len(q.segs[dest]); free < budget {
+			budget = free
+		}
+		if budget <= 0 {
+			continue
+		}
+		thr := threshold(dest)
+		moved := q.moveSelected(k, dest, budget, cycle, false, func(e *entry) bool {
+			return e.arrived < cycle && e.effDelay() < thr
+		})
+		budget -= moved
+
+		if q.cfg.Pushdown && budget > 0 {
+			freeK := q.cfg.SegSize - len(q.segs[k])
+			freeDest := q.cfg.SegSize - len(q.segs[dest])
+			// §4.1: the upper segment has fewer than IW free entries and
+			// the one below has more than 1.5*IW free entries.
+			if freeK < q.cfg.IssueWidth && 2*freeDest > 3*q.cfg.IssueWidth {
+				n := budget
+				if n > q.cfg.IssueWidth {
+					n = q.cfg.IssueWidth
+				}
+				q.moveSelected(k, dest, n, cycle, true, func(e *entry) bool {
+					return e.arrived < cycle && e.effDelay() >= thr
+				})
+			}
+		}
+	}
+}
+
+// moveSelected moves up to n entries matching pick from segment k to
+// segment dest, oldest (lowest sequence number) first, asserting chain
+// wires for promoted heads. It returns the number moved.
+func (q *SegmentedIQ) moveSelected(k, dest, n int, cycle int64, pushdown bool, pick func(*entry) bool) int {
+	var cand []*entry
+	for _, e := range q.segs[k] {
+		if pick(e) {
+			cand = append(cand, e)
+		}
+	}
+	if len(cand) == 0 {
+		return 0
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].u.Seq < cand[j].u.Seq })
+	if len(cand) > n {
+		cand = cand[:n]
+	}
+	for _, e := range cand {
+		q.removeFromSegment(k, e)
+		e.seg = dest
+		e.arrived = cycle
+		e.pushedDown = pushdown
+		q.segs[dest] = append(q.segs[dest], e)
+		q.catchUp(e, dest)
+		if e.isHead {
+			q.assertAt(k, signal{ch: e.head, typ: sigAdvance})
+		}
+		q.promotedThisCycle++
+		if pushdown {
+			q.stPushdowns.Inc()
+		} else {
+			q.stPromotions.Inc()
+		}
+	}
+	return len(cand)
+}
+
+func (q *SegmentedIQ) removeFromSegment(k int, e *entry) {
+	seg := q.segs[k]
+	for i, x := range seg {
+		if x == e {
+			copy(seg[i:], seg[i+1:])
+			seg[len(seg)-1] = nil
+			q.segs[k] = seg[:len(seg)-1]
+			return
+		}
+	}
+	panic("core: entry not found in its segment")
+}
+
+// Issue implements iq.Queue: conventional wakeup/select over the bottom
+// segment only, oldest ready first. Issuing chain heads assert their wire
+// at segment 0 (members with head location zero enter self-timed mode).
+func (q *SegmentedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
+	var ready []*entry
+	for _, e := range q.segs[0] {
+		if e.arrived < cycle && e.u.IssueReady(cycle) {
+			ready = append(ready, e)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].u.Seq < ready[j].u.Seq })
+	var out []*uop.UOp
+	for _, e := range ready {
+		if len(out) >= max {
+			break
+		}
+		if !tryIssue(e.u) {
+			continue
+		}
+		e.u.IssueCycle = cycle
+		q.removeFromSegment(0, e)
+		q.total--
+		out = append(out, e.u)
+		if e.isHead {
+			q.assertAt(0, signal{ch: e.head, typ: sigAdvance})
+		}
+		q.trainLRP(e)
+	}
+	q.issuedThisCycle += len(out)
+	q.stIssued.Add(uint64(len(out)))
+	return out
+}
+
+// trainLRP scores and trains the left/right predictor once both operand
+// arrival times are known (they are, at issue).
+func (q *SegmentedIQ) trainLRP(e *entry) {
+	if !e.lrpTracked || q.lrp == nil {
+		return
+	}
+	u := e.u
+	if u.Prod[0] == nil || u.Prod[1] == nil {
+		return
+	}
+	t0, t1 := u.OperandReadyTime(0), u.OperandReadyTime(1)
+	if t0 == t1 {
+		return // no information in a tie
+	}
+	q.lrp.Update(u.Inst.PC, t0 > t1)
+}
+
+// SetActiveSegments gates the queue to its bottom n segments (§7 dynamic
+// resizing by clock/power gating at segment granularity). Dispatch stops
+// targeting gated segments immediately; instructions already above the
+// active region keep promoting downward until it drains. n is clamped to
+// [1, Segments].
+func (q *SegmentedIQ) SetActiveSegments(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > q.cfg.Segments {
+		n = q.cfg.Segments
+	}
+	q.active = n
+}
+
+// ActiveSegments returns the number of powered segments.
+func (q *SegmentedIQ) ActiveSegments() int { return q.active }
+
+// dispatchTarget picks the segment a new instruction enters: with bypass
+// (§4.2), the highest non-empty segment (or the bottom if the queue is
+// empty), overflowing into the empty segment above it when full; without
+// bypass, always the top (active) segment.
+func (q *SegmentedIQ) dispatchTarget() (int, bool) {
+	top := q.active - 1
+	if !q.cfg.Bypass {
+		if len(q.segs[top]) >= q.cfg.SegSize {
+			return 0, false
+		}
+		return top, true
+	}
+	hi := -1
+	for k := top; k >= 0; k-- {
+		if len(q.segs[k]) > 0 {
+			hi = k
+			break
+		}
+	}
+	switch {
+	case hi == -1:
+		return 0, true
+	case len(q.segs[hi]) < q.cfg.SegSize:
+		return hi, true
+	case hi < top:
+		return hi + 1, true
+	default:
+		return 0, false
+	}
+}
+
+// refFrom derives a chain membership from a register-table row.
+func refFrom(re regEntry) chainRef {
+	if re.selfTimed {
+		return chainRef{ch: re.ch, delay: re.latency, selfTimed: true, suspended: re.suspended}
+	}
+	// §3.3: delay is initialised to 2*S_H + D_H.
+	return chainRef{ch: re.ch, delay: 2*re.headLoc + re.latency, headLoc: re.headLoc}
+}
+
+// Dispatch implements iq.Queue: chain assignment via the register
+// information table, delay-value initialisation, chain-head creation
+// (loads, and two-outstanding-operand instructions in the base design),
+// and placement with segment bypass. Returns false — with no state
+// changed — when the target segment is full or no chain wire is free.
+func (q *SegmentedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
+	// Collect the outstanding source operands and snapshot their rows
+	// (the destination update below may overwrite a row aliased by a
+	// source).
+	type srcOut struct {
+		j  int
+		re regEntry
+	}
+	var outs []srcOut
+	for j := 0; j < 2; j++ {
+		if j == 0 && u.IsStore() {
+			// A store's delay value tracks only its address operand: the
+			// EA calculation is what the IQ schedules; the data drains
+			// through the LSQ.
+			continue
+		}
+		r := u.Src(j)
+		if r == isa.RegNone || r == isa.RegZero {
+			continue
+		}
+		re := q.table.row(u.Thread, r)
+		if re.outstanding() {
+			outs = append(outs, srcOut{j: j, re: *re})
+		}
+	}
+
+	isLoad := u.IsLoad()
+	predHit := false
+	if isLoad && q.hmp != nil {
+		predHit = q.hmp.PredictHit(u.Inst.PC)
+	}
+	needHead := isLoad && !predHit
+	headIsLoad := needHead
+
+	twoDiff := len(outs) == 2 &&
+		outs[0].re.ch.real() && outs[1].re.ch.real() && outs[0].re.ch != outs[1].re.ch
+	if twoDiff && q.lrp == nil {
+		// Base design (§3.4): an instruction following two chains must
+		// itself head a new chain.
+		needHead = true
+	}
+
+	target, ok := q.dispatchTarget()
+	if !ok {
+		q.stStallFull.Inc()
+		return false
+	}
+
+	hd := chainNone
+	if needHead {
+		c, allocOK := q.chains.alloc()
+		if !allocOK {
+			q.stStallNoChain.Inc()
+			return false
+		}
+		hd = c
+	}
+
+	// Commit point: no stalls past here.
+	e := &entry{u: u, seg: target, arrived: cycle, isHead: needHead, head: hd}
+	if len(outs) == 2 {
+		q.stTwoOutstanding.Inc()
+		if twoDiff {
+			q.stTwoDiffChains.Inc()
+		}
+	}
+
+	switch {
+	case len(outs) == 0:
+		// Both operands available: delay 0, no chain membership.
+	case len(outs) == 1:
+		e.refs[0] = refFrom(outs[0].re)
+		e.nrefs = 1
+	case q.lrp != nil:
+		// §4.3: with the LRP each instruction follows at most one chain —
+		// the operand predicted to arrive later.
+		left := q.lrp.PredictLeftLater(u.Inst.PC)
+		e.lrpTracked = true
+		pick := outs[1]
+		if left {
+			pick = outs[0]
+		}
+		e.refs[0] = refFrom(pick.re)
+		e.nrefs = 1
+	case outs[0].re.ch.real() && outs[0].re.ch == outs[1].re.ch:
+		// Both operands on the same chain: one membership, larger delay.
+		a, b := refFrom(outs[0].re), refFrom(outs[1].re)
+		if b.delay > a.delay {
+			a = b
+		}
+		e.refs[0] = a
+		e.nrefs = 1
+	default:
+		// Two memberships (§3.2); the larger delay value controls.
+		e.refs[0] = refFrom(outs[0].re)
+		e.refs[1] = refFrom(outs[1].re)
+		e.nrefs = 2
+	}
+
+	if u.Inst.HasDest() {
+		predLat := u.Latency()
+		if isLoad {
+			predLat = q.cfg.PredictedLoadLatency
+		}
+		de := q.table.row(u.Thread, u.Inst.Dest)
+		switch {
+		case needHead:
+			*de = regEntry{valid: true, producer: u, ch: hd, latency: predLat, headLoc: target}
+		case e.nrefs > 0:
+			cr := e.refs[0]
+			if e.nrefs == 2 && e.refs[1].delay > cr.delay {
+				cr = e.refs[1]
+			}
+			if cr.selfTimed {
+				*de = regEntry{valid: true, producer: u, ch: cr.ch,
+					latency: cr.delay + predLat, selfTimed: true, suspended: cr.suspended}
+			} else {
+				// Latency relative to head issue: the controlling
+				// operand's latency-from-head plus this instruction's
+				// own latency.
+				*de = regEntry{valid: true, producer: u, ch: cr.ch,
+					latency: cr.delay - 2*cr.headLoc + predLat, headLoc: cr.headLoc}
+			}
+		default:
+			// Fully predictable: expected to issue after draining ~one
+			// segment per cycle from its dispatch segment.
+			*de = regEntry{valid: true, producer: u, ch: chainNone,
+				latency: target + predLat, selfTimed: true}
+		}
+	}
+
+	u.DispatchCycle = cycle
+	u.IQ = e
+	q.segs[target] = append(q.segs[target], e)
+	q.catchUp(e, target)
+	q.total++
+	q.dispatchedThisCycle++
+	q.stDispatched.Inc()
+	q.stDispatchSeg.Observe(float64(target))
+	if needHead {
+		q.stHeads.Inc()
+		if headIsLoad {
+			q.stHeadLoads.Inc()
+		} else {
+			q.stHeadTwoChain.Inc()
+		}
+	}
+	return true
+}
+
+// NotifyLoadMiss implements iq.Queue: the chain head discovered it will
+// not complete within its predicted latency; members suspend self-timing
+// (§3.4). The signal originates at the bottom of the queue and propagates
+// up the chain wire.
+func (q *SegmentedIQ) NotifyLoadMiss(cycle int64, u *uop.UOp) {
+	e, ok := u.IQ.(*entry)
+	if !ok || e == nil || !e.isHead {
+		return
+	}
+	q.assertAt(0, signal{ch: e.head, typ: sigSuspend})
+}
+
+// NotifyLoadComplete implements iq.Queue: a final chain-wire signal
+// resumes self-timed mode; the hit/miss predictor is trained.
+func (q *SegmentedIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {
+	if q.hmp != nil && u.IsLoad() {
+		q.hmp.Update(u.Inst.PC, u.MemKind == uop.MemHit)
+	}
+	e, ok := u.IQ.(*entry)
+	if !ok || e == nil || !e.isHead {
+		return
+	}
+	q.assertAt(0, signal{ch: e.head, typ: sigResume})
+}
+
+// Writeback implements iq.Queue: chains are deallocated when the head
+// writes its result back to the register file; the register table row is
+// released if this instruction is still its producer.
+func (q *SegmentedIQ) Writeback(cycle int64, u *uop.UOp) {
+	q.table.clearProducer(u)
+	e, ok := u.IQ.(*entry)
+	if !ok || e == nil {
+		return
+	}
+	if e.isHead {
+		q.chains.release(e.head)
+		e.isHead = false
+	}
+	u.IQ = nil
+}
+
+// EndCycle implements iq.Queue: deadlock detection (§4.5). A deadlock is
+// declared when the queue holds instructions but nothing issued, promoted
+// or dispatched this cycle and nothing is executing elsewhere in the
+// machine; recovery runs at the start of the next cycle.
+func (q *SegmentedIQ) EndCycle(cycle int64, machineActive bool) {
+	if q.total > 0 && q.issuedThisCycle == 0 && q.promotedThisCycle == 0 &&
+		q.dispatchedThisCycle == 0 && !machineActive {
+		q.stDeadlockCycles.Inc()
+		if q.cfg.DeadlockRecovery {
+			q.recoverPending = true
+		}
+	}
+}
+
+// recover implements §4.5: every full segment is forced to promote one
+// instruction (eligible candidates preferred), and if the bottom segment
+// is full of non-ready instructions, one is recycled to the top of the
+// queue, guaranteeing the oldest ready instruction can eventually reach
+// segment 0.
+func (q *SegmentedIQ) recover(cycle int64) {
+	q.stRecoveries.Inc()
+
+	var recycled *entry
+	if len(q.segs[0]) >= q.cfg.SegSize && !q.anyReady(0, cycle) {
+		oldest := q.segs[0][0]
+		for _, e := range q.segs[0] {
+			if e.u.Seq < oldest.u.Seq {
+				oldest = e
+			}
+		}
+		q.removeFromSegment(0, oldest)
+		recycled = oldest
+	}
+
+	// Force one promotion across every segment boundary with room below.
+	// The paper forces promotions out of *full* segments; we extend the
+	// forced pass to any non-empty segment so that recovery also clears
+	// wedges where delay values have gone stale without filling the queue
+	// (the queue is already known to be making no progress).
+	for k := 1; k < q.cfg.Segments; k++ {
+		if len(q.segs[k]) == 0 || len(q.segs[k-1]) >= q.cfg.SegSize {
+			continue
+		}
+		thr := threshold(k - 1)
+		// Prefer an eligible instruction; otherwise force the oldest.
+		moved := q.moveSelected(k, k-1, 1, cycle, false, func(e *entry) bool {
+			return e.effDelay() < thr
+		})
+		if moved == 0 {
+			q.moveSelected(k, k-1, 1, cycle, true, func(e *entry) bool { return true })
+		}
+	}
+
+	if recycled != nil {
+		placed := false
+		for k := q.cfg.Segments - 1; k >= 0; k-- {
+			if len(q.segs[k]) < q.cfg.SegSize {
+				recycled.seg = k
+				recycled.arrived = cycle
+				q.segs[k] = append(q.segs[k], recycled)
+				q.catchUp(recycled, k)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Cannot happen: removing the entry freed a slot that the
+			// forced promotions can only have cascaded upward.
+			recycled.seg = 0
+			q.segs[0] = append(q.segs[0], recycled)
+		}
+	}
+}
+
+func (q *SegmentedIQ) anyReady(k int, cycle int64) bool {
+	for _, e := range q.segs[k] {
+		if e.u.IssueReady(cycle) {
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentLen returns the occupancy of segment k (tests and occupancy
+// reports).
+func (q *SegmentedIQ) SegmentLen(k int) int { return len(q.segs[k]) }
+
+// DelayOf returns the current effective delay value of a dispatched
+// instruction, or -1 if it is not (or no longer) queued here. Diagnostic
+// and walkthrough use.
+func (q *SegmentedIQ) DelayOf(u *uop.UOp) int {
+	if e, ok := u.IQ.(*entry); ok && e != nil {
+		return e.effDelay()
+	}
+	return -1
+}
+
+// SegmentOf returns the segment index holding a dispatched instruction,
+// or -1 if it is not queued here.
+func (q *SegmentedIQ) SegmentOf(u *uop.UOp) int {
+	e, ok := u.IQ.(*entry)
+	if !ok || e == nil {
+		return -1
+	}
+	for _, x := range q.segs[e.seg] {
+		if x == e {
+			return e.seg
+		}
+	}
+	return -1
+}
+
+// ChainsInUse returns the number of currently allocated chains.
+func (q *SegmentedIQ) ChainsInUse() int { return q.chains.inUse }
+
+// CollectStats implements iq.Queue.
+func (q *SegmentedIQ) CollectStats(s *stats.Set) {
+	s.Put("iq_dispatched", float64(q.stDispatched.Value()))
+	s.Put("iq_issued", float64(q.stIssued.Value()))
+	s.Put("iq_stall_full", float64(q.stStallFull.Value()))
+	s.Put("iq_stall_nochain", float64(q.stStallNoChain.Value()))
+	s.Put("iq_promotions", float64(q.stPromotions.Value()))
+	s.Put("iq_pushdowns", float64(q.stPushdowns.Value()))
+	s.Put("iq_occupancy_avg", q.stOccupancy.Value())
+	s.Put("segments_active_avg", q.stActiveSegs.Value())
+	for k := range q.stSegOcc {
+		s.Put(fmt.Sprintf("seg%d_occupancy_avg", k), q.stSegOcc[k].Value())
+	}
+	s.Put("iq_ready_seg0_avg", q.stReadySeg0.Value())
+	s.Put("iq_ready_total_avg", q.stReadyTotal.Value())
+	s.Put("iq_dispatch_seg_avg", q.stDispatchSeg.Value())
+	s.Put("chains_created", float64(q.chains.created.Value()))
+	s.Put("chains_avg", q.chains.usage.Value())
+	s.Put("chains_peak", float64(q.chains.peak.Value()))
+	s.Put("chain_heads", float64(q.stHeads.Value()))
+	s.Put("chain_heads_load", float64(q.stHeadLoads.Value()))
+	s.Put("chain_heads_twochain", float64(q.stHeadTwoChain.Value()))
+	s.Put("two_outstanding", float64(q.stTwoOutstanding.Value()))
+	s.Put("two_outstanding_diff_chains", float64(q.stTwoDiffChains.Value()))
+	s.Put("deadlock_cycles", float64(q.stDeadlockCycles.Value()))
+	s.Put("deadlock_recoveries", float64(q.stRecoveries.Value()))
+	s.Put("chain_wire_assertions", float64(q.stWireAsserts.Value()))
+	if q.hmp != nil {
+		s.Put("hmp_hit_pred_accuracy", q.hmp.HitPredictionAccuracy())
+		s.Put("hmp_hit_coverage", q.hmp.HitCoverage())
+		s.Put("hmp_actual_hit_rate", q.hmp.ActualHitRate())
+	}
+	if q.lrp != nil {
+		s.Put("lrp_accuracy", q.lrp.Accuracy())
+	}
+}
+
+var _ iq.Queue = (*SegmentedIQ)(nil)

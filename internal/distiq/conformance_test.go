@@ -1,0 +1,21 @@
+package distiq_test
+
+import (
+	"testing"
+
+	"repro/internal/distiq"
+	"repro/internal/iq"
+	"repro/internal/iq/iqtest"
+)
+
+func TestConformanceFuzz(t *testing.T) {
+	for name, cfg := range map[string]distiq.Config{
+		"default-320": distiq.DefaultConfig(320),
+		"tiny":        {Lines: 4, LineWidth: 3, WaitBuffer: 4, PredictedLoadLatency: 4},
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			iqtest.Fuzz(t, func() iq.Queue { return distiq.MustNew(cfg) }, iqtest.DefaultOptions())
+		})
+	}
+}

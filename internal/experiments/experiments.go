@@ -1,0 +1,349 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): Figure 2 (512-entry segmented IQ configurations
+// relative to the ideal IQ), Table 2 (chain usage with unlimited chains),
+// Figure 3 (performance across IQ sizes, including the prescheduling
+// baseline), and the in-text measurements (HMP accuracy and coverage,
+// two-chain instruction frequency, deadlock incidence, segment-0
+// occupancy). See EXPERIMENTS.md for paper-versus-measured results.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options scales the experiments. The paper simulates 100 M instruction
+// samples after a 20 G fast-forward; the defaults here are laptop-sized
+// but flag-adjustable (cmd/iqbench -n / -warm).
+type Options struct {
+	// Instructions measured per run.
+	Instructions int64
+	// Warmup instructions functionally fast-forwarded before measuring.
+	Warmup int64
+	// Seed selects the deterministic workload instance.
+	Seed uint64
+	// Benchmarks restricts the workload set (nil = all eight).
+	Benchmarks []string
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultOptions returns the harness defaults.
+func DefaultOptions() Options {
+	return Options{Instructions: 40_000, Warmup: 300_000, Seed: 1}
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return trace.Names()
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// job is one simulation in a batch.
+type job struct {
+	key string
+	cfg sim.Config
+	wl  string
+}
+
+// runAll executes jobs concurrently and returns results keyed by job key.
+// Any simulation error aborts the batch.
+func (o Options) runAll(jobs []job) (map[string]*sim.Result, error) {
+	results := make(map[string]*sim.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, o.parallel())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			r, err := sim.RunWorkloadWarm(j.cfg, j.wl, o.Seed, o.Instructions, o.Warmup)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", j.key, err)
+				}
+				return
+			}
+			results[j.key] = r
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// variant describes one segmented-IQ predictor configuration of Figure 2.
+type variant struct {
+	name string
+	hmp  bool
+	lrp  bool
+}
+
+var fig2Variants = []variant{
+	{"base", false, false},
+	{"hmp", true, false},
+	{"lrp", false, true},
+	{"comb", true, true},
+}
+
+// fig2ChainCounts are the chain-wire budgets of Figure 2 (0 = unlimited).
+var fig2ChainCounts = []int{0, 128, 64}
+
+func chainLabel(n int) string {
+	if n == 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d chains", n)
+}
+
+// Fig2Result holds Figure 2's data: per benchmark, per chain budget, per
+// variant, performance relative to the ideal 512-entry IQ.
+type Fig2Result struct {
+	Benchmarks []string
+	// Relative[bench][chainLabel][variant] = segmented IPC / ideal IPC.
+	Relative map[string]map[string]map[string]float64
+	// IdealIPC[bench] is the ideal 512-entry queue's IPC.
+	IdealIPC map[string]float64
+}
+
+// Fig2 reproduces Figure 2: a 512-entry segmented IQ (sixteen 32-entry
+// segments) in twelve configurations, relative to an ideal single-cycle
+// 512-entry IQ.
+func Fig2(o Options) (*Fig2Result, error) {
+	benches := o.benchmarks()
+	var jobs []job
+	for _, wl := range benches {
+		jobs = append(jobs, job{key: "ideal/" + wl, cfg: sim.DefaultConfig(sim.QueueIdeal, 512), wl: wl})
+		for _, chains := range fig2ChainCounts {
+			for _, v := range fig2Variants {
+				key := fmt.Sprintf("%s/%s/%s", chainLabel(chains), v.name, wl)
+				jobs = append(jobs, job{key: key, cfg: sim.SegmentedConfig(512, chains, v.hmp, v.lrp), wl: wl})
+			}
+		}
+	}
+	res, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{
+		Benchmarks: benches,
+		Relative:   make(map[string]map[string]map[string]float64),
+		IdealIPC:   make(map[string]float64),
+	}
+	for _, wl := range benches {
+		ideal := res["ideal/"+wl].IPC
+		out.IdealIPC[wl] = ideal
+		out.Relative[wl] = make(map[string]map[string]float64)
+		for _, chains := range fig2ChainCounts {
+			cl := chainLabel(chains)
+			out.Relative[wl][cl] = make(map[string]float64)
+			for _, v := range fig2Variants {
+				key := fmt.Sprintf("%s/%s/%s", cl, v.name, wl)
+				out.Relative[wl][cl][v.name] = res[key].IPC / ideal
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table renders the figure as the text table cmd/iqbench prints.
+func (f *Fig2Result) Table() *stats.Table {
+	t := stats.NewTable("config", append(f.Benchmarks, "average")...)
+	for _, chains := range fig2ChainCounts {
+		cl := chainLabel(chains)
+		for _, v := range fig2Variants {
+			cells := make(map[string]string, len(f.Benchmarks)+1)
+			var vals []float64
+			for _, wl := range f.Benchmarks {
+				rel := f.Relative[wl][cl][v.name]
+				cells[wl] = fmt.Sprintf("%.1f%%", 100*rel)
+				vals = append(vals, rel)
+			}
+			cells["average"] = fmt.Sprintf("%.1f%%", 100*stats.ArithMean(vals))
+			t.AddRow(cl+"/"+v.name, cells)
+		}
+	}
+	return t
+}
+
+// Table2Result holds Table 2: average and peak chain usage for the
+// 512-entry segmented IQ with unlimited chains.
+type Table2Result struct {
+	Benchmarks []string
+	Average    map[string]map[string]float64 // [variant][bench]
+	Peak       map[string]map[string]float64
+}
+
+// Table2 reproduces Table 2: chain usage under the four predictor
+// configurations with unlimited chain wires.
+func Table2(o Options) (*Table2Result, error) {
+	benches := o.benchmarks()
+	var jobs []job
+	for _, wl := range benches {
+		for _, v := range fig2Variants {
+			jobs = append(jobs, job{key: v.name + "/" + wl, cfg: sim.SegmentedConfig(512, 0, v.hmp, v.lrp), wl: wl})
+		}
+	}
+	res, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table2Result{
+		Benchmarks: benches,
+		Average:    make(map[string]map[string]float64),
+		Peak:       make(map[string]map[string]float64),
+	}
+	for _, v := range fig2Variants {
+		out.Average[v.name] = make(map[string]float64)
+		out.Peak[v.name] = make(map[string]float64)
+		for _, wl := range benches {
+			r := res[v.name+"/"+wl]
+			out.Average[v.name][wl] = r.Stats.MustGet("chains_avg")
+			out.Peak[v.name][wl] = r.Stats.MustGet("chains_peak")
+		}
+	}
+	return out, nil
+}
+
+// Table renders Table 2 in the paper's layout (benchmark rows; average
+// and peak columns per configuration).
+func (t2 *Table2Result) Table() *stats.Table {
+	var cols []string
+	for _, v := range fig2Variants {
+		cols = append(cols, v.name+"-avg", v.name+"-peak")
+	}
+	t := stats.NewTable("benchmark", cols...)
+	for _, wl := range t2.Benchmarks {
+		cells := make(map[string]string)
+		for _, v := range fig2Variants {
+			cells[v.name+"-avg"] = fmt.Sprintf("%.1f", t2.Average[v.name][wl])
+			cells[v.name+"-peak"] = fmt.Sprintf("%.0f", t2.Peak[v.name][wl])
+		}
+		t.AddRow(wl, cells)
+	}
+	avgCells := make(map[string]string)
+	for _, v := range fig2Variants {
+		var avgs, peaks []float64
+		for _, wl := range t2.Benchmarks {
+			avgs = append(avgs, t2.Average[v.name][wl])
+			peaks = append(peaks, t2.Peak[v.name][wl])
+		}
+		avgCells[v.name+"-avg"] = fmt.Sprintf("%.1f", stats.ArithMean(avgs))
+		avgCells[v.name+"-peak"] = fmt.Sprintf("%.0f", stats.ArithMean(peaks))
+	}
+	t.AddRow("average", avgCells)
+	return t
+}
+
+// Fig3Sizes are the IQ sizes of Figure 3.
+var Fig3Sizes = []int{32, 64, 128, 256, 512}
+
+// Fig3PreschedSlots are the prescheduling-array capacities of Figure 3
+// (32-entry issue buffer + 8/24/56/120 lines of 12).
+var Fig3PreschedSlots = []int{128, 320, 704, 1472}
+
+// Fig3Result holds Figure 3: IPC for each benchmark across queue sizes
+// for the ideal queue, the combined segmented queue with 128 and 64
+// chains, and the prescheduling baseline.
+type Fig3Result struct {
+	Benchmarks []string
+	// IPC[series][bench][i] follows Fig3Sizes (or Fig3PreschedSlots for
+	// the "prescheduled" series).
+	IPC map[string]map[string][]float64
+}
+
+// Fig3Series are the curve names, in plot order.
+var Fig3Series = []string{"ideal", "comb-128chains", "comb-64chains", "prescheduled"}
+
+// Fig3 reproduces Figure 3 across all benchmarks and queue sizes.
+func Fig3(o Options) (*Fig3Result, error) {
+	benches := o.benchmarks()
+	var jobs []job
+	for _, wl := range benches {
+		for _, size := range Fig3Sizes {
+			jobs = append(jobs,
+				job{key: fmt.Sprintf("ideal/%d/%s", size, wl), cfg: sim.DefaultConfig(sim.QueueIdeal, size), wl: wl},
+				job{key: fmt.Sprintf("comb-128chains/%d/%s", size, wl), cfg: sim.SegmentedConfig(size, 128, true, true), wl: wl},
+				job{key: fmt.Sprintf("comb-64chains/%d/%s", size, wl), cfg: sim.SegmentedConfig(size, 64, true, true), wl: wl},
+			)
+		}
+		for _, slots := range Fig3PreschedSlots {
+			jobs = append(jobs, job{key: fmt.Sprintf("prescheduled/%d/%s", slots, wl), cfg: sim.PrescheduledConfig(slots), wl: wl})
+		}
+	}
+	res, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig3Result{Benchmarks: benches, IPC: make(map[string]map[string][]float64)}
+	for _, series := range Fig3Series {
+		out.IPC[series] = make(map[string][]float64)
+		sizes := Fig3Sizes
+		if series == "prescheduled" {
+			sizes = Fig3PreschedSlots
+		}
+		for _, wl := range benches {
+			for _, size := range sizes {
+				out.IPC[series][wl] = append(out.IPC[series][wl],
+					res[fmt.Sprintf("%s/%d/%s", series, size, wl)].IPC)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Tables renders one table per benchmark, rows = series, columns = sizes.
+func (f *Fig3Result) Tables() map[string]*stats.Table {
+	out := make(map[string]*stats.Table, len(f.Benchmarks))
+	for _, wl := range f.Benchmarks {
+		var cols []string
+		for _, s := range Fig3Sizes {
+			cols = append(cols, fmt.Sprintf("%d", s))
+		}
+		t := stats.NewTable(wl, cols...)
+		for _, series := range Fig3Series {
+			cells := make(map[string]string)
+			if series == "prescheduled" {
+				// The prescheduling points have their own sizes; align
+				// them under the nearest ideal-size columns for display.
+				for i, slots := range Fig3PreschedSlots {
+					col := fmt.Sprintf("%d", Fig3Sizes[i+1])
+					cells[col] = fmt.Sprintf("%.2f(%d)", f.IPC[series][wl][i], slots)
+				}
+			} else {
+				for i := range Fig3Sizes {
+					cells[cols[i]] = fmt.Sprintf("%.2f", f.IPC[series][wl][i])
+				}
+			}
+			t.AddRow(series, cells)
+		}
+		out[wl] = t
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The §7 power discussion: "Copying an instruction from segment to
+// segment consumes more dynamic power than keeping the instruction in a
+// single storage location between dispatch and issue; whether the
+// performance benefit of the segmented IQ justifies this power
+// consumption will depend on the detailed design."
+//
+// This experiment quantifies that trade with a first-order event-energy
+// proxy. Costs are in arbitrary units per event, chosen by circuit
+// intuition (a CAM search across an entry costs about what an SRAM entry
+// move costs; a one-hot wire assertion across one segment is far
+// cheaper):
+//
+//	wakeup search     1 per searched-entry-cycle (CAM tag comparison)
+//	entry write/move  4 per dispatch and per inter-segment copy
+//	chain wire        0.25 per assertion per segment traversed
+//	issue read        2 per issued instruction
+//
+// The monolithic queue searches its whole occupancy every cycle; the
+// segmented queue searches only segment 0 but pays for promotion copies
+// and chain wires. The proxy is deliberately simple — the point is the
+// *structure* of the comparison, not watts.
+
+// EnergyWeights are the per-event costs of the proxy model.
+type EnergyWeights struct {
+	WakeupPerEntryCycle float64
+	EntryWrite          float64
+	WirePerSegment      float64
+	IssueRead           float64
+}
+
+// DefaultEnergyWeights returns the documented defaults.
+func DefaultEnergyWeights() EnergyWeights {
+	return EnergyWeights{WakeupPerEntryCycle: 1, EntryWrite: 4, WirePerSegment: 0.25, IssueRead: 2}
+}
+
+// PowerResult compares the energy proxy of the ideal and segmented
+// queues at equal capacity.
+type PowerResult struct {
+	Benchmarks []string
+	Weights    EnergyWeights
+	// EnergyPerInst[design][bench]: proxy units per committed instruction.
+	EnergyPerInst map[string]map[string]float64
+	// IPC[design][bench] for the performance side of the trade.
+	IPC map[string]map[string]float64
+}
+
+// Power runs the §7 energy-proxy comparison at the given queue size.
+func Power(o Options, size int, w EnergyWeights) (*PowerResult, error) {
+	benches := o.benchmarks()
+	cfgs := map[string]sim.Config{
+		"ideal":     sim.DefaultConfig(sim.QueueIdeal, size),
+		"segmented": sim.SegmentedConfig(size, 128, true, true),
+	}
+	var jobs []job
+	for _, wl := range benches {
+		for name, cfg := range cfgs {
+			jobs = append(jobs, job{key: name + "/" + wl, cfg: cfg, wl: wl})
+		}
+	}
+	res, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	segs := size / 32
+
+	out := &PowerResult{
+		Benchmarks:    benches,
+		Weights:       w,
+		EnergyPerInst: map[string]map[string]float64{"ideal": {}, "segmented": {}},
+		IPC:           map[string]map[string]float64{"ideal": {}, "segmented": {}},
+	}
+	for _, wl := range benches {
+		ideal := res["ideal/"+wl]
+		seg := res["segmented/"+wl]
+		out.IPC["ideal"][wl] = ideal.IPC
+		out.IPC["segmented"][wl] = seg.IPC
+
+		// Monolithic: whole-occupancy CAM search every cycle, one write at
+		// dispatch, one read at issue.
+		iCycles := ideal.Stats.MustGet("cycles")
+		iOcc := ideal.Stats.MustGet("iq_occupancy_avg")
+		iDisp := ideal.Stats.MustGet("iq_dispatched")
+		iIss := ideal.Stats.MustGet("iq_issued")
+		iEnergy := w.WakeupPerEntryCycle*iOcc*iCycles + w.EntryWrite*iDisp + w.IssueRead*iIss
+		out.EnergyPerInst["ideal"][wl] = iEnergy / float64(ideal.Instructions)
+
+		// Segmented: segment-0 CAM search only, writes at dispatch and per
+		// promotion/pushdown copy, chain wires pipelined across segments
+		// (approximate each assertion as traversing half the queue).
+		sCycles := seg.Stats.MustGet("cycles")
+		sSeg0 := seg.Stats.MustGet("seg0_occupancy_avg")
+		sDisp := seg.Stats.MustGet("iq_dispatched")
+		sIss := seg.Stats.MustGet("iq_issued")
+		sMoves := seg.Stats.MustGet("iq_promotions") + seg.Stats.MustGet("iq_pushdowns")
+		sWires := seg.Stats.MustGet("chain_wire_assertions")
+		sEnergy := w.WakeupPerEntryCycle*sSeg0*sCycles +
+			w.EntryWrite*(sDisp+sMoves) +
+			w.WirePerSegment*sWires*float64(segs)/2 +
+			w.IssueRead*sIss
+		out.EnergyPerInst["segmented"][wl] = sEnergy / float64(seg.Instructions)
+	}
+	return out, nil
+}
+
+// Table renders the comparison: energy proxy per instruction and the
+// accompanying IPC, per design.
+func (p *PowerResult) Table() *stats.Table {
+	t := stats.NewTable("metric", p.Benchmarks...)
+	rows := []struct {
+		label  string
+		values func(wl string) string
+	}{
+		{"ideal E/inst", func(wl string) string { return fmt.Sprintf("%.0f", p.EnergyPerInst["ideal"][wl]) }},
+		{"seg E/inst", func(wl string) string { return fmt.Sprintf("%.0f", p.EnergyPerInst["segmented"][wl]) }},
+		{"seg/ideal E", func(wl string) string {
+			return fmt.Sprintf("%.2fx", p.EnergyPerInst["segmented"][wl]/p.EnergyPerInst["ideal"][wl])
+		}},
+		{"seg/ideal IPC", func(wl string) string {
+			return fmt.Sprintf("%.2f", p.IPC["segmented"][wl]/p.IPC["ideal"][wl])
+		}},
+	}
+	for _, r := range rows {
+		cells := make(map[string]string)
+		for _, wl := range p.Benchmarks {
+			cells[wl] = r.values(wl)
+		}
+		t.AddRow(r.label, cells)
+	}
+	return t
+}

@@ -1,0 +1,21 @@
+package fifoiq_test
+
+import (
+	"testing"
+
+	"repro/internal/fifoiq"
+	"repro/internal/iq"
+	"repro/internal/iq/iqtest"
+)
+
+func TestConformanceFuzz(t *testing.T) {
+	for name, cfg := range map[string]fifoiq.Config{
+		"default-128": fifoiq.DefaultConfig(128),
+		"narrow":      {FIFOs: 3, Depth: 4},
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			iqtest.Fuzz(t, func() iq.Queue { return fifoiq.MustNew(cfg) }, iqtest.DefaultOptions())
+		})
+	}
+}

@@ -1,0 +1,17 @@
+package iq_test
+
+import (
+	"testing"
+
+	"repro/internal/iq"
+	"repro/internal/iq/iqtest"
+)
+
+func TestConformanceFuzz(t *testing.T) {
+	for name, size := range map[string]int{"large": 256, "tiny": 4} {
+		size := size
+		t.Run(name, func(t *testing.T) {
+			iqtest.Fuzz(t, func() iq.Queue { return iq.NewConventional(size) }, iqtest.DefaultOptions())
+		})
+	}
+}

@@ -1,0 +1,175 @@
+// Package iq defines the instruction-queue abstraction shared by every
+// scheduler design in the repository, and implements the conventional
+// monolithic queue — the paper's "ideal, single-cycle" baseline, whose
+// wakeup and select logic searches every entry each cycle regardless of
+// size.
+package iq
+
+import (
+	"repro/internal/stats"
+	"repro/internal/uop"
+)
+
+// Queue is an instruction scheduler: the structure between dispatch and
+// the function units. The simulator drives one Queue per core through the
+// following per-cycle protocol, in order:
+//
+//	BeginCycle → Issue → (LSQ / memory notifications) → Dispatch* → EndCycle
+//
+// Implementations must tolerate any number of Dispatch calls per cycle
+// (the simulator enforces dispatch width) and must not issue an
+// instruction in the cycle it was dispatched or promoted into the issue
+// stage.
+type Queue interface {
+	// Name identifies the design for reports.
+	Name() string
+	// Capacity is the total number of instruction slots.
+	Capacity() int
+	// Len is the number of occupied slots.
+	Len() int
+	// ExtraDispatchStages is the number of additional dispatch pipeline
+	// cycles this design costs over a conventional IQ (the paper charges
+	// the segmented and prescheduling designs one extra cycle).
+	ExtraDispatchStages() int
+
+	// BeginCycle performs the design's internal per-cycle work that
+	// precedes issue: delay-value maintenance, promotion between
+	// segments, array shifting, and so on.
+	BeginCycle(cycle int64)
+
+	// Issue selects up to max ready instructions, oldest first, removes
+	// them from the queue and returns them. tryIssue is consulted for
+	// each candidate; it returns false if no function unit can accept the
+	// instruction this cycle, and reserves the unit when it returns true,
+	// so the Queue must then issue that instruction.
+	Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp
+
+	// Dispatch inserts a renamed instruction. It returns false — with no
+	// state modified — if the design must stall dispatch (no slot, or no
+	// free chain wire). The simulator retries the same instruction next
+	// cycle; dispatch is in order.
+	Dispatch(cycle int64, u *uop.UOp) bool
+
+	// NotifyLoadMiss tells the scheduler that an issued load has been
+	// discovered not to hit the L1 (chain suspension in the segmented
+	// design).
+	NotifyLoadMiss(cycle int64, u *uop.UOp)
+	// NotifyLoadComplete tells the scheduler that a load's data has
+	// returned (chain resumption).
+	NotifyLoadComplete(cycle int64, u *uop.UOp)
+	// Writeback tells the scheduler that u's result has been written to
+	// the register file (chain deallocation point).
+	Writeback(cycle int64, u *uop.UOp)
+
+	// EndCycle closes the cycle. machineActive reports whether anything
+	// outside the queue made progress (instructions executing, memory
+	// traffic, commits); the segmented design uses its absence for
+	// deadlock detection.
+	EndCycle(cycle int64, machineActive bool)
+
+	// CollectStats adds design-specific statistics to s.
+	CollectStats(s *stats.Set)
+}
+
+// Conventional is a monolithic instruction queue with full-queue wakeup
+// and select each cycle. With unconstrained size it is the paper's "ideal"
+// IQ; at 32 entries it is the conventional baseline the segmented design
+// is compared against.
+type Conventional struct {
+	name     string
+	capacity int
+	entries  []*uop.UOp // in program order (dispatch order)
+
+	issued     stats.Counter
+	dispatched stats.Counter
+	fullStalls stats.Counter
+	occupancy  stats.Mean
+	readyInIQ  stats.Mean
+}
+
+// NewConventional builds a conventional/ideal IQ with the given capacity.
+func NewConventional(capacity int) *Conventional {
+	return &Conventional{name: "ideal", capacity: capacity}
+}
+
+// Name implements Queue.
+func (q *Conventional) Name() string { return q.name }
+
+// Capacity implements Queue.
+func (q *Conventional) Capacity() int { return q.capacity }
+
+// Len implements Queue.
+func (q *Conventional) Len() int { return len(q.entries) }
+
+// ExtraDispatchStages implements Queue: a conventional IQ costs nothing
+// extra.
+func (q *Conventional) ExtraDispatchStages() int { return 0 }
+
+// BeginCycle implements Queue.
+func (q *Conventional) BeginCycle(cycle int64) {
+	q.occupancy.Observe(float64(len(q.entries)))
+	ready := 0
+	for _, u := range q.entries {
+		if u.Ready(cycle) {
+			ready++
+		}
+	}
+	q.readyInIQ.Observe(float64(ready))
+}
+
+// Issue implements Queue: single-cycle wakeup and select over the whole
+// structure, oldest ready instructions first.
+func (q *Conventional) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
+	var out []*uop.UOp
+	kept := q.entries[:0]
+	for _, u := range q.entries {
+		if len(out) < max && u.DispatchCycle < cycle && u.IssueReady(cycle) && tryIssue(u) {
+			u.IssueCycle = cycle
+			out = append(out, u)
+			continue
+		}
+		kept = append(kept, u)
+	}
+	// Zero the tail so released uops can be collected.
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
+	q.entries = kept
+	q.issued.Add(uint64(len(out)))
+	return out
+}
+
+// Dispatch implements Queue.
+func (q *Conventional) Dispatch(cycle int64, u *uop.UOp) bool {
+	if len(q.entries) >= q.capacity {
+		q.fullStalls.Inc()
+		return false
+	}
+	u.DispatchCycle = cycle
+	q.entries = append(q.entries, u)
+	q.dispatched.Inc()
+	return true
+}
+
+// NotifyLoadMiss implements Queue (no-op: readiness is observed directly).
+func (q *Conventional) NotifyLoadMiss(cycle int64, u *uop.UOp) {}
+
+// NotifyLoadComplete implements Queue (no-op).
+func (q *Conventional) NotifyLoadComplete(cycle int64, u *uop.UOp) {}
+
+// Writeback implements Queue (no-op).
+func (q *Conventional) Writeback(cycle int64, u *uop.UOp) {}
+
+// EndCycle implements Queue (no-op: a conventional IQ cannot deadlock).
+func (q *Conventional) EndCycle(cycle int64, machineActive bool) {}
+
+// CollectStats implements Queue.
+func (q *Conventional) CollectStats(s *stats.Set) {
+	s.Put("iq_dispatched", float64(q.dispatched.Value()))
+	s.Put("iq_issued", float64(q.issued.Value()))
+	s.Put("iq_full_stalls", float64(q.fullStalls.Value()))
+	s.Put("iq_occupancy_avg", q.occupancy.Value())
+	s.Put("iq_ready_avg", q.readyInIQ.Value())
+}
+
+var _ Queue = (*Conventional)(nil)

@@ -1,0 +1,154 @@
+package iq
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/uop"
+)
+
+func alu(seq int64, src1, src2, dest int) *uop.UOp {
+	return uop.New(seq, isa.Inst{Class: isa.IntAlu, Src1: src1, Src2: src2, Dest: dest})
+}
+
+func always(*uop.UOp) bool { return true }
+
+func TestConventionalBasics(t *testing.T) {
+	q := NewConventional(4)
+	if q.Name() != "ideal" || q.Capacity() != 4 || q.Len() != 0 {
+		t.Fatal("ctor state wrong")
+	}
+	if q.ExtraDispatchStages() != 0 {
+		t.Error("conventional IQ has no extra dispatch stage")
+	}
+}
+
+func TestConventionalCapacityStall(t *testing.T) {
+	q := NewConventional(2)
+	for i := int64(0); i < 2; i++ {
+		if !q.Dispatch(0, alu(i, isa.RegNone, isa.RegNone, 1)) {
+			t.Fatalf("dispatch %d rejected", i)
+		}
+	}
+	if q.Dispatch(0, alu(2, isa.RegNone, isa.RegNone, 1)) {
+		t.Fatal("dispatch into full queue accepted")
+	}
+	s := stats.NewSet()
+	q.CollectStats(s)
+	if s.MustGet("iq_full_stalls") != 1 {
+		t.Error("full stall not counted")
+	}
+}
+
+func TestConventionalIssueOldestReadyFirst(t *testing.T) {
+	q := NewConventional(8)
+	// u0 ready; u1 depends on u0; u2 ready.
+	u0 := alu(0, isa.RegNone, isa.RegNone, 1)
+	u1 := alu(1, 1, isa.RegNone, 2)
+	u1.Prod[0] = u0
+	u2 := alu(2, isa.RegNone, isa.RegNone, 3)
+	for _, u := range []*uop.UOp{u0, u1, u2} {
+		q.Dispatch(0, u)
+	}
+	q.BeginCycle(1)
+	got := q.Issue(1, 8, always)
+	if len(got) != 2 || got[0] != u0 || got[1] != u2 {
+		t.Fatalf("issued %v", got)
+	}
+	if u0.IssueCycle != 1 {
+		t.Error("issue cycle not stamped")
+	}
+	// u0 completes at 2 (1-cycle ALU): model the pipeline doing so.
+	u0.Complete = 2
+	q.BeginCycle(2)
+	got = q.Issue(2, 8, always)
+	if len(got) != 1 || got[0] != u1 {
+		t.Fatalf("dependent issue = %v", got)
+	}
+	if q.Len() != 0 {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestConventionalNoSameCycleIssue(t *testing.T) {
+	q := NewConventional(8)
+	u := alu(0, isa.RegNone, isa.RegNone, 1)
+	q.Dispatch(5, u)
+	if got := q.Issue(5, 8, always); len(got) != 0 {
+		t.Fatal("instruction issued in its dispatch cycle")
+	}
+	if got := q.Issue(6, 8, always); len(got) != 1 {
+		t.Fatal("instruction should issue the next cycle")
+	}
+}
+
+func TestConventionalIssueWidthLimit(t *testing.T) {
+	q := NewConventional(16)
+	for i := int64(0); i < 10; i++ {
+		q.Dispatch(0, alu(i, isa.RegNone, isa.RegNone, 1))
+	}
+	got := q.Issue(1, 4, always)
+	if len(got) != 4 {
+		t.Fatalf("issued %d, want width limit 4", len(got))
+	}
+	for i, u := range got {
+		if u.Seq != int64(i) {
+			t.Fatalf("issue order not oldest-first: %v", got)
+		}
+	}
+	if q.Len() != 6 {
+		t.Errorf("remaining = %d", q.Len())
+	}
+}
+
+func TestConventionalFunctionUnitRejection(t *testing.T) {
+	q := NewConventional(8)
+	u0 := uop.New(0, isa.Inst{Class: isa.IntDiv, Src1: isa.RegNone, Src2: isa.RegNone, Dest: 1})
+	u1 := alu(1, isa.RegNone, isa.RegNone, 2)
+	q.Dispatch(0, u0)
+	q.Dispatch(0, u1)
+	// Divider busy: reject divs, accept ALU.
+	got := q.Issue(1, 8, func(u *uop.UOp) bool { return u.Inst.Class != isa.IntDiv })
+	if len(got) != 1 || got[0] != u1 {
+		t.Fatalf("issued %v, want only the ALU op", got)
+	}
+	if q.Len() != 1 {
+		t.Error("rejected op should remain queued")
+	}
+}
+
+func TestConventionalStats(t *testing.T) {
+	q := NewConventional(8)
+	u0 := alu(0, isa.RegNone, isa.RegNone, 1)
+	u1 := alu(1, 1, isa.RegNone, 2)
+	u1.Prod[0] = u0
+	q.Dispatch(0, u0)
+	q.Dispatch(0, u1)
+	q.BeginCycle(1) // occupancy 2, ready 1
+	q.Issue(1, 8, always)
+	s := stats.NewSet()
+	q.CollectStats(s)
+	if s.MustGet("iq_dispatched") != 2 || s.MustGet("iq_issued") != 1 {
+		t.Errorf("counts wrong: %s", s)
+	}
+	if s.MustGet("iq_occupancy_avg") != 2 {
+		t.Errorf("occupancy = %v", s.MustGet("iq_occupancy_avg"))
+	}
+	if s.MustGet("iq_ready_avg") != 1 {
+		t.Errorf("ready = %v", s.MustGet("iq_ready_avg"))
+	}
+}
+
+func TestConventionalNotificationsAreNoops(t *testing.T) {
+	q := NewConventional(4)
+	u := alu(0, isa.RegNone, isa.RegNone, 1)
+	// Must not panic or change state.
+	q.NotifyLoadMiss(0, u)
+	q.NotifyLoadComplete(0, u)
+	q.Writeback(0, u)
+	q.EndCycle(0, false)
+	if q.Len() != 0 {
+		t.Error("no-ops changed state")
+	}
+}

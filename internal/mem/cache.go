@@ -1,0 +1,411 @@
+package mem
+
+import "fmt"
+
+// Kind classifies how an access was serviced, from the requester's point
+// of view.
+type Kind uint8
+
+const (
+	// KindHit: the line was present; data after the hit latency.
+	KindHit Kind = iota
+	// KindDelayedHit: the line was already being fetched; the access
+	// merged into the outstanding MSHR (a miss for hit/miss-prediction
+	// purposes, per §6.1's discussion of swim).
+	KindDelayedHit
+	// KindMiss: the access itself initiated a fetch from below.
+	KindMiss
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindHit:
+		return "hit"
+	case KindDelayedHit:
+		return "delayed-hit"
+	case KindMiss:
+		return "miss"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Supplier is a lower memory level that can deliver and absorb full lines.
+type Supplier interface {
+	// FetchLine requests the aligned line; done runs when the line has
+	// been delivered to the requester (link bandwidth included).
+	FetchLine(now int64, lineAddr uint64, done func(now int64))
+	// WritebackLine absorbs a dirty line evicted by the requester.
+	WritebackLine(now int64, lineAddr uint64)
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name       string
+	Size       int // total bytes
+	Ways       int
+	LineSize   int // bytes
+	HitLatency int // cycles from access to data on a hit
+	MSHRs      int // maximum outstanding misses
+	// UpLinkBytesPerCycle is the bandwidth of the link that delivers lines
+	// from this cache to the level above (e.g. 64 for the L2 per Table 1).
+	// Zero means the link is never a bottleneck.
+	UpLinkBytesPerCycle int
+}
+
+func (c CacheConfig) validate() error {
+	if c.Size <= 0 || c.Ways <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("mem: %s: non-positive geometry", c.Name)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("mem: %s: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("mem: %s: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d not a power of two", c.Name, sets)
+	}
+	if c.HitLatency < 1 {
+		return fmt.Errorf("mem: %s: hit latency %d < 1", c.Name, c.HitLatency)
+	}
+	if c.MSHRs < 1 {
+		return fmt.Errorf("mem: %s: need at least one MSHR", c.Name)
+	}
+	return nil
+}
+
+// CacheStats aggregates a cache's activity.
+type CacheStats struct {
+	Accesses    uint64
+	Hits        uint64
+	DelayedHits uint64
+	Misses      uint64 // accesses that allocated an MSHR
+	Writebacks  uint64
+	MSHRRejects uint64 // accesses rejected because all MSHRs were busy
+}
+
+// MissRate returns (delayed hits + misses) / accesses — the paper's notion
+// of L1 miss rate, under which a delayed hit is a miss.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.DelayedHits+s.Misses) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+}
+
+type mshrTarget struct {
+	write bool
+	kind  Kind
+	done  func(now int64, k Kind)
+}
+
+type mshr struct {
+	lineAddr uint64
+	targets  []mshrTarget
+	// fromAbove marks targets that are line fetches for an upper cache and
+	// therefore need up-link bandwidth on delivery.
+	upDones []func(now int64)
+}
+
+// Cache is one cache level. It is driven entirely through the shared
+// EventQueue: all callbacks fire from EventQueue.RunDue.
+type Cache struct {
+	cfg   CacheConfig
+	eq    *EventQueue
+	lower Supplier
+
+	sets      int
+	lineShift uint
+	lines     []cacheLine
+	stamp     uint64
+
+	mshrs map[uint64]*mshr
+	// pendingFetches queues upper-level line fetches that arrived while
+	// all MSHRs were busy; they start as MSHRs free.
+	pendingFetches []pendingFetch
+
+	linkFree int64 // next cycle the up-link is available
+
+	stats CacheStats
+	// mshrOccupancy integrates MSHR usage for average-occupancy reporting.
+	mshrPeak int
+}
+
+type pendingFetch struct {
+	lineAddr uint64
+	done     func(now int64)
+}
+
+// NewCache builds a cache on top of lower, sharing the event queue eq.
+func NewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if eq == nil || lower == nil {
+		return nil, fmt.Errorf("mem: %s: nil event queue or lower level", cfg.Name)
+	}
+	nLines := cfg.Size / cfg.LineSize
+	c := &Cache{
+		cfg:   cfg,
+		eq:    eq,
+		lower: lower,
+		sets:  nLines / cfg.Ways,
+		lines: make([]cacheLine, nLines),
+		mshrs: make(map[uint64]*mshr),
+	}
+	for c.lineShift = 0; 1<<c.lineShift != cfg.LineSize; c.lineShift++ {
+	}
+	return c, nil
+}
+
+// MustNewCache is NewCache for known-good configurations.
+func MustNewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) *Cache {
+	c, err := NewCache(cfg, eq, lower)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns a copy of the cache's counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// MSHRPeak returns the highest number of simultaneously busy MSHRs.
+func (c *Cache) MSHRPeak() int { return c.mshrPeak }
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr returns the aligned line address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineSize-1) }
+
+func (c *Cache) setOf(lineAddr uint64) ([]cacheLine, uint64) {
+	idx := int((lineAddr >> c.lineShift) & uint64(c.sets-1))
+	tag := (lineAddr >> c.lineShift) / uint64(c.sets)
+	return c.lines[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways], tag
+}
+
+func (c *Cache) lookup(lineAddr uint64) *cacheLine {
+	set, tag := c.setOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Probe reports how an access to addr would be serviced right now, with
+// no side effects: the tag-array outcome the cache controller knows at
+// lookup time. The LSQ uses it to signal chain suspension at
+// miss-detection time (§3.4), before the data returns.
+func (c *Cache) Probe(addr uint64) Kind {
+	lineAddr := c.LineAddr(addr)
+	if ln := c.lookup(lineAddr); ln != nil {
+		return KindHit
+	}
+	if _, ok := c.mshrs[lineAddr]; ok {
+		return KindDelayedHit
+	}
+	return KindMiss
+}
+
+// Access performs a demand access (load or store) of the line containing
+// addr. done is invoked — from the event queue — when the data is
+// available, with the service Kind. Access returns false, without side
+// effects, if the access could not be accepted because all MSHRs are busy;
+// the caller (the LSQ) retries on a later cycle.
+func (c *Cache) Access(now int64, addr uint64, write bool, done func(now int64, k Kind)) bool {
+	lineAddr := c.LineAddr(addr)
+	if ln := c.lookup(lineAddr); ln != nil {
+		c.stats.Accesses++
+		c.stats.Hits++
+		c.stamp++
+		ln.lru = c.stamp
+		if write {
+			ln.dirty = true
+		}
+		c.eq.Schedule(now+int64(c.cfg.HitLatency), func(t int64) { done(t, KindHit) })
+		return true
+	}
+	if m, ok := c.mshrs[lineAddr]; ok {
+		c.stats.Accesses++
+		c.stats.DelayedHits++
+		m.targets = append(m.targets, mshrTarget{write: write, kind: KindDelayedHit, done: done})
+		return true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.stats.MSHRRejects++
+		return false
+	}
+	c.stats.Accesses++
+	c.stats.Misses++
+	m := &mshr{lineAddr: lineAddr}
+	m.targets = append(m.targets, mshrTarget{write: write, kind: KindMiss, done: done})
+	c.mshrs[lineAddr] = m
+	if len(c.mshrs) > c.mshrPeak {
+		c.mshrPeak = len(c.mshrs)
+	}
+	// The fetch leaves after the tag-lookup latency.
+	c.eq.Schedule(now+int64(c.cfg.HitLatency), func(t int64) {
+		c.lower.FetchLine(t, lineAddr, func(fillTime int64) { c.fill(fillTime, lineAddr) })
+	})
+	return true
+}
+
+// FetchLine implements Supplier for an upper-level cache: a read of the
+// full line, delivered over this cache's up-link.
+func (c *Cache) FetchLine(now int64, lineAddr uint64, done func(now int64)) {
+	lineAddr = c.LineAddr(lineAddr)
+	if ln := c.lookup(lineAddr); ln != nil {
+		c.stats.Accesses++
+		c.stats.Hits++
+		c.stamp++
+		ln.lru = c.stamp
+		deliver := c.reserveLink(now + int64(c.cfg.HitLatency))
+		c.eq.Schedule(deliver, done)
+		return
+	}
+	if m, ok := c.mshrs[lineAddr]; ok {
+		c.stats.Accesses++
+		c.stats.DelayedHits++
+		m.upDones = append(m.upDones, done)
+		return
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		// Upper levels have no retry path; queue until an MSHR frees.
+		c.stats.MSHRRejects++
+		c.pendingFetches = append(c.pendingFetches, pendingFetch{lineAddr: lineAddr, done: done})
+		return
+	}
+	c.stats.Accesses++
+	c.stats.Misses++
+	m := &mshr{lineAddr: lineAddr}
+	m.upDones = append(m.upDones, done)
+	c.mshrs[lineAddr] = m
+	if len(c.mshrs) > c.mshrPeak {
+		c.mshrPeak = len(c.mshrs)
+	}
+	c.eq.Schedule(now+int64(c.cfg.HitLatency), func(t int64) {
+		c.lower.FetchLine(t, lineAddr, func(fillTime int64) { c.fill(fillTime, lineAddr) })
+	})
+}
+
+// WritebackLine implements Supplier: absorb a dirty line from above. If
+// present the line is marked dirty; otherwise the writeback is forwarded
+// down (no write-allocate for evictions).
+func (c *Cache) WritebackLine(now int64, lineAddr uint64) {
+	lineAddr = c.LineAddr(lineAddr)
+	if ln := c.lookup(lineAddr); ln != nil {
+		ln.dirty = true
+		return
+	}
+	c.lower.WritebackLine(now, lineAddr)
+}
+
+// fill installs a fetched line and completes all merged targets.
+func (c *Cache) fill(now int64, lineAddr uint64) {
+	m := c.mshrs[lineAddr]
+	if m == nil {
+		panic(fmt.Sprintf("mem: %s: fill without MSHR for %#x", c.cfg.Name, lineAddr))
+	}
+	delete(c.mshrs, lineAddr)
+
+	set, tag := c.setOf(lineAddr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+		victimAddr := (set[victim].tag*uint64(c.sets) + (lineAddr>>c.lineShift)&uint64(c.sets-1)) << c.lineShift
+		c.lower.WritebackLine(now, victimAddr)
+	}
+	dirty := false
+	for _, t := range m.targets {
+		if t.write {
+			dirty = true
+		}
+	}
+	c.stamp++
+	set[victim] = cacheLine{valid: true, dirty: dirty, tag: tag, lru: c.stamp}
+
+	for _, t := range m.targets {
+		t := t
+		c.eq.Schedule(now, func(tm int64) { t.done(tm, t.kind) })
+	}
+	for _, done := range m.upDones {
+		deliver := c.reserveLink(now)
+		c.eq.Schedule(deliver, done)
+	}
+
+	// Start one queued upper-level fetch now that an MSHR is free.
+	if len(c.pendingFetches) > 0 {
+		pf := c.pendingFetches[0]
+		c.pendingFetches = c.pendingFetches[1:]
+		c.FetchLine(now, pf.lineAddr, pf.done)
+	}
+}
+
+// Warm functionally installs the line containing addr — no latency, no
+// events, no demand-access statistics. Used to pre-warm the hierarchy so
+// that short simulation samples start from a steady state, standing in
+// for the paper's 20-billion-instruction fast-forward.
+func (c *Cache) Warm(addr uint64, dirty bool) {
+	lineAddr := c.LineAddr(addr)
+	if ln := c.lookup(lineAddr); ln != nil {
+		c.stamp++
+		ln.lru = c.stamp
+		if dirty {
+			ln.dirty = true
+		}
+		return
+	}
+	set, tag := c.setOf(lineAddr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	c.stamp++
+	set[victim] = cacheLine{valid: true, dirty: dirty, tag: tag, lru: c.stamp}
+}
+
+// reserveLink books the up-link for one line transfer beginning no earlier
+// than ready and returns the delivery time.
+func (c *Cache) reserveLink(ready int64) int64 {
+	if c.cfg.UpLinkBytesPerCycle <= 0 {
+		return ready
+	}
+	transfer := int64((c.cfg.LineSize + c.cfg.UpLinkBytesPerCycle - 1) / c.cfg.UpLinkBytesPerCycle)
+	start := ready
+	if c.linkFree > start {
+		start = c.linkFree
+	}
+	c.linkFree = start + transfer
+	return c.linkFree
+}
+
+// OutstandingMisses returns the number of busy MSHRs.
+func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }

@@ -1,0 +1,64 @@
+// Package mem implements the detailed event-driven memory hierarchy of
+// Table 1: split 64 KB 2-way L1 instruction and data caches, a unified
+// 1 MB 4-way L2, and main memory, with per-cache MSHRs (32 outstanding
+// misses), miss merging (delayed hits), finite link bandwidth, and
+// write-back/write-allocate policy.
+package mem
+
+import "container/heap"
+
+// EventQueue is a monotonic time-ordered callback queue. Events scheduled
+// for the same cycle run in scheduling order.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+type event struct {
+	when int64
+	seq  uint64
+	fn   func(now int64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Schedule runs fn at the given cycle. Scheduling in the past is treated
+// as "now" by RunDue.
+func (q *EventQueue) Schedule(when int64, fn func(now int64)) {
+	q.seq++
+	heap.Push(&q.h, event{when: when, seq: q.seq, fn: fn})
+}
+
+// RunDue executes every event whose time is <= now, including events those
+// events schedule at or before now. It returns the number executed.
+func (q *EventQueue) RunDue(now int64) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].when <= now {
+		e := heap.Pop(&q.h).(event)
+		e.fn(now)
+		n++
+	}
+	return n
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// NextTime returns the time of the earliest pending event.
+func (q *EventQueue) NextTime() (int64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].when, true
+}

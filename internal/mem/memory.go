@@ -1,0 +1,154 @@
+package mem
+
+import "fmt"
+
+// MainMemory is the DRAM model of Table 1: fixed access latency plus a
+// shared channel of fixed bytes-per-cycle bandwidth.
+type MainMemory struct {
+	latency  int64
+	lineSize int
+	bw       int // bytes per cycle; <=0 means unlimited
+	eq       *EventQueue
+
+	linkFree int64
+
+	fetches    uint64
+	writebacks uint64
+}
+
+// NewMainMemory builds a memory with the given access latency (cycles),
+// line transfer size and channel bandwidth in bytes per cycle.
+func NewMainMemory(eq *EventQueue, latency int64, lineSize, bytesPerCycle int) (*MainMemory, error) {
+	if eq == nil {
+		return nil, fmt.Errorf("mem: nil event queue")
+	}
+	if latency < 1 || lineSize <= 0 {
+		return nil, fmt.Errorf("mem: invalid memory parameters latency=%d line=%d", latency, lineSize)
+	}
+	return &MainMemory{latency: latency, lineSize: lineSize, bw: bytesPerCycle, eq: eq}, nil
+}
+
+// MustNewMainMemory is NewMainMemory for known-good parameters.
+func MustNewMainMemory(eq *EventQueue, latency int64, lineSize, bytesPerCycle int) *MainMemory {
+	m, err := NewMainMemory(eq, latency, lineSize, bytesPerCycle)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *MainMemory) reserve(ready int64) int64 {
+	if m.bw <= 0 {
+		return ready
+	}
+	transfer := int64((m.lineSize + m.bw - 1) / m.bw)
+	start := ready
+	if m.linkFree > start {
+		start = m.linkFree
+	}
+	m.linkFree = start + transfer
+	return m.linkFree
+}
+
+// FetchLine implements Supplier.
+func (m *MainMemory) FetchLine(now int64, lineAddr uint64, done func(now int64)) {
+	m.fetches++
+	deliver := m.reserve(now + m.latency)
+	m.eq.Schedule(deliver, done)
+}
+
+// WritebackLine implements Supplier: the transfer consumes channel
+// bandwidth but completes silently.
+func (m *MainMemory) WritebackLine(now int64, lineAddr uint64) {
+	m.writebacks++
+	m.reserve(now)
+}
+
+// Fetches returns the number of line reads served.
+func (m *MainMemory) Fetches() uint64 { return m.fetches }
+
+// Writebacks returns the number of dirty lines absorbed.
+func (m *MainMemory) Writebacks() uint64 { return m.writebacks }
+
+// HierarchyConfig configures the full Table 1 memory system.
+type HierarchyConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	MemLatency       int64
+	MemBytesPerCycle int
+}
+
+// DefaultHierarchyConfig returns the Table 1 memory system: split 64 KB
+// 2-way L1s with 64-byte lines (I: 1-cycle, D: 3-cycle, 32 MSHRs), a
+// unified 1 MB 4-way 10-cycle L2 with 32 MSHRs and 64 B/cycle bandwidth to
+// the L1s, and 100-cycle 8 B/cycle main memory.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I: CacheConfig{Name: "L1I", Size: 64 << 10, Ways: 2, LineSize: 64,
+			HitLatency: 1, MSHRs: 8},
+		L1D: CacheConfig{Name: "L1D", Size: 64 << 10, Ways: 2, LineSize: 64,
+			HitLatency: 3, MSHRs: 32},
+		L2: CacheConfig{Name: "L2", Size: 1 << 20, Ways: 4, LineSize: 64,
+			HitLatency: 10, MSHRs: 32, UpLinkBytesPerCycle: 64},
+		MemLatency:       100,
+		MemBytesPerCycle: 8,
+	}
+}
+
+// Hierarchy wires the two L1s, the unified L2 and main memory to a single
+// event queue.
+type Hierarchy struct {
+	EQ  *EventQueue
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	Mem *MainMemory
+}
+
+// NewHierarchy builds the full memory system.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	eq := &EventQueue{}
+	mm, err := NewMainMemory(eq, cfg.MemLatency, cfg.L2.LineSize, cfg.MemBytesPerCycle)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2, eq, mm)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := NewCache(cfg.L1I, eq, l2)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D, eq, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{EQ: eq, L1I: l1i, L1D: l1d, L2: l2, Mem: mm}, nil
+}
+
+// MustNewHierarchy is NewHierarchy for known-good configurations.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Tick runs all memory-system events due at or before the given cycle.
+func (h *Hierarchy) Tick(now int64) { h.EQ.RunDue(now) }
+
+// WarmData functionally installs a data line in the L1D and L2.
+func (h *Hierarchy) WarmData(addr uint64, write bool) {
+	h.L1D.Warm(addr, write)
+	h.L2.Warm(addr, false)
+}
+
+// WarmInst functionally installs an instruction line in the L1I and L2.
+func (h *Hierarchy) WarmInst(pc uint64) {
+	h.L1I.Warm(pc, false)
+	h.L2.Warm(pc, false)
+}

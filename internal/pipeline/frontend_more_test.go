@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestFrontEndTrain(t *testing.T) {
+	h := mem.MustNewHierarchy(mem.DefaultHierarchyConfig())
+	bp := bpred.MustNewPredictor(bpred.DefaultConfig())
+	btb := bpred.MustNewBTB(4096, 4)
+	fe := NewFrontEnd(DefaultFrontEndConfig(), trace.FromSlice("t", nil), bp, btb, h.L1I)
+
+	br := isa.Inst{PC: 0x7000, Class: isa.Branch, Src1: 1, Src2: isa.RegNone,
+		Taken: true, Target: 0x8000}
+	for i := 0; i < 32; i++ {
+		fe.Train(br)
+	}
+	if !bp.Predict(0x7000) {
+		t.Error("training did not reach the direction predictor")
+	}
+	if tgt, ok := btb.Lookup(0x7000); !ok || tgt != 0x8000 {
+		t.Error("training did not reach the BTB")
+	}
+	// Non-branches are ignored.
+	fe.Train(isa.Inst{PC: 0x7004, Class: isa.IntAlu, Src1: 1, Src2: 2, Dest: 3})
+}
+
+func TestFrontEndFourthBranchPushback(t *testing.T) {
+	// Four not-taken branches in one line: the fourth must be deferred to
+	// the next fetch group, not silently over-predicted.
+	var ins []isa.Inst
+	for i := 0; i < 4; i++ {
+		ins = append(ins, isa.Inst{PC: 0x9000 + uint64(4*i), Class: isa.Branch,
+			Src1: 1, Src2: isa.RegNone, Taken: false})
+	}
+	fe, h := newTestFE(t, ins)
+	// Warm the line and train the predictor on the exact sequence so no
+	// branch mispredicts (a mispredict would end the group on its own).
+	h.WarmInst(0x9000)
+	for round := 0; round < 50; round++ {
+		for _, in := range ins {
+			fe.Train(in)
+		}
+	}
+	fe.Fetch(0)
+	if fe.BufLen() != 3 {
+		t.Fatalf("fetched %d in the first group, want 3 (mispredicts %d)",
+			fe.BufLen(), fe.Mispredicts())
+	}
+	fe.Fetch(1)
+	if fe.BufLen() != 4 {
+		t.Fatalf("pushed-back branch lost: %d buffered", fe.BufLen())
+	}
+	if fe.Branches() != 4 {
+		t.Fatalf("branches = %d", fe.Branches())
+	}
+}
+
+func TestFrontEndBufferCap(t *testing.T) {
+	h := mem.MustNewHierarchy(mem.DefaultHierarchyConfig())
+	cfg := DefaultFrontEndConfig()
+	cfg.BufferCap = 8
+	var ins []isa.Inst
+	for i := 0; i < 64; i++ {
+		ins = append(ins, isa.Inst{PC: 0xa000 + uint64(4*i), Class: isa.IntAlu,
+			Src1: isa.RegNone, Src2: isa.RegNone, Dest: 1})
+	}
+	h.WarmInst(0xa000)
+	h.WarmInst(0xa040)
+	h.WarmInst(0xa080)
+	fe := NewFrontEnd(cfg, trace.FromSlice("t", ins),
+		bpred.MustNewPredictor(bpred.DefaultConfig()), bpred.MustNewBTB(4096, 4), h.L1I)
+	for c := int64(0); c < 10; c++ {
+		fe.Fetch(c)
+		if fe.BufLen() > 8 {
+			t.Fatalf("buffer cap exceeded: %d", fe.BufLen())
+		}
+	}
+	if fe.BufLen() != 8 {
+		t.Fatalf("buffer should be capped full, got %d", fe.BufLen())
+	}
+}

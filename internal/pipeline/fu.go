@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/uop"
+)
+
+// Function-unit pools per Table 1: eight each of integer ALU, integer
+// multiplier, FP adder, and FP multiplier/divider/sqrt unit. Effective-
+// address calculations and branches execute on the integer ALUs. All
+// operations are fully pipelined except divide and square root, which
+// occupy their unit for the full latency.
+const (
+	poolIntAlu = iota
+	poolIntMul
+	poolFpAdd
+	poolFpMul
+	numPools
+)
+
+func poolOf(c isa.Class) int {
+	switch c {
+	case isa.IntAlu, isa.Load, isa.Store, isa.Branch:
+		return poolIntAlu
+	case isa.IntMul, isa.IntDiv:
+		return poolIntMul
+	case isa.FpAdd:
+		return poolFpAdd
+	case isa.FpMul, isa.FpDiv, isa.FpSqrt:
+		return poolFpMul
+	}
+	return poolIntAlu
+}
+
+// FUPool tracks per-unit occupancy across the four pools.
+type FUPool struct {
+	units [numPools][]int64 // busyUntil per unit (exclusive)
+
+	issuedByPool [numPools]uint64
+	structStalls uint64
+}
+
+// NewFUPool builds pools with n units each (Table 1: n = 8).
+func NewFUPool(n int) *FUPool {
+	f := &FUPool{}
+	for p := range f.units {
+		f.units[p] = make([]int64, n)
+	}
+	return f
+}
+
+// TryIssue reserves a unit for u starting at the given cycle, returning
+// false when every unit in the class's pool is occupied. A pipelined
+// operation occupies its unit for one cycle; divide and square root hold
+// it for the full latency.
+func (f *FUPool) TryIssue(cycle int64, u *uop.UOp) bool {
+	p := poolOf(u.Inst.Class)
+	for i := range f.units[p] {
+		if f.units[p][i] <= cycle {
+			occupy := int64(1)
+			if !u.Inst.Class.Pipelined() {
+				occupy = int64(u.Inst.Class.Latency())
+			}
+			f.units[p][i] = cycle + occupy
+			f.issuedByPool[p]++
+			return true
+		}
+	}
+	f.structStalls++
+	return false
+}
+
+// StructuralStalls returns how many issue attempts found no free unit.
+func (f *FUPool) StructuralStalls() uint64 { return f.structStalls }
+
+// Issued returns the per-pool issue counts (IntAlu, IntMul, FpAdd, FpMul).
+func (f *FUPool) Issued() [4]uint64 { return f.issuedByPool }

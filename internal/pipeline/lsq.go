@@ -1,0 +1,210 @@
+package pipeline
+
+import (
+	"repro/internal/iq"
+	"repro/internal/mem"
+	"repro/internal/uop"
+)
+
+// LSQ is the load/store queue. As in the paper's simulator (§5), memory
+// instructions split at dispatch: the effective-address calculation is
+// scheduled by the IQ as an ordinary integer operation, and the access
+// itself lives here. A load may access the cache once its address is
+// known, every older store's address is known, and no older store
+// overlaps; an overlapping older store forwards its data in one cycle.
+// Store data is written to the cache after commit from a post-retirement
+// write queue.
+type LSQ struct {
+	capacity int
+	entries  []*uop.UOp // program order
+	writeQ   []memWrite // retired stores awaiting cache write
+	l1d      *mem.Cache
+	eq       *mem.EventQueue
+	q        iq.Queue
+
+	rdPorts       int
+	wrPorts       int
+	missDetectLat int64
+
+	// OnLoadDone, if set, runs when a load's data arrives (after the IQ
+	// notifications).
+	OnLoadDone func(cycle int64, u *uop.UOp)
+
+	forwards       uint64
+	mshrRejects    uint64
+	loadsIssued    uint64
+	storeWrites    uint64
+	blockedByStore uint64
+}
+
+type memWrite struct {
+	addr uint64
+	size uint8
+}
+
+// NewLSQ builds a load/store queue of the given capacity over l1d.
+func NewLSQ(capacity int, l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, rdPorts, wrPorts int) *LSQ {
+	return &LSQ{
+		capacity:      capacity,
+		l1d:           l1d,
+		eq:            eq,
+		q:             q,
+		rdPorts:       rdPorts,
+		wrPorts:       wrPorts,
+		missDetectLat: int64(l1d.Config().HitLatency),
+	}
+}
+
+// Full reports whether another memory instruction can be accepted.
+func (l *LSQ) Full() bool { return len(l.entries) >= l.capacity }
+
+// Len returns the number of in-flight memory instructions.
+func (l *LSQ) Len() int { return len(l.entries) }
+
+// Busy reports whether retired stores are still draining.
+func (l *LSQ) Busy() bool { return len(l.writeQ) > 0 }
+
+// Add enqueues a dispatched memory instruction (program order).
+func (l *LSQ) Add(u *uop.UOp) {
+	if l.Full() {
+		panic("pipeline: add to full LSQ")
+	}
+	l.entries = append(l.entries, u)
+}
+
+// Remove deletes a committed memory instruction from the queue. Stores
+// move their pending write to the post-retirement queue via CommitStore.
+func (l *LSQ) Remove(u *uop.UOp) {
+	for i, e := range l.entries {
+		if e == u {
+			l.entries = append(l.entries[:i], l.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// CommitStore retires a store: its write drains to the cache in the
+// background.
+func (l *LSQ) CommitStore(u *uop.UOp) {
+	l.Remove(u)
+	l.writeQ = append(l.writeQ, memWrite{addr: u.Inst.Addr, size: u.Inst.Size})
+}
+
+func overlap(a1 uint64, s1 uint8, a2 uint64, s2 uint8) bool {
+	return a1 < a2+uint64(s2) && a2 < a1+uint64(s1)
+}
+
+// Tick drains retired store writes and initiates eligible load accesses,
+// bounded by the cache read/write ports.
+func (l *LSQ) Tick(cycle int64) {
+	// Post-retirement store writes.
+	wr := 0
+	for wr < l.wrPorts && len(l.writeQ) > 0 {
+		w := l.writeQ[0]
+		if !l.l1d.Access(cycle, w.addr, true, func(int64, mem.Kind) {}) {
+			break // MSHRs full: retry next cycle
+		}
+		l.writeQ = l.writeQ[1:]
+		l.storeWrites++
+		wr++
+	}
+
+	// Loads, oldest first. An older store with an unknown address blocks
+	// every younger load (conservative disambiguation, §5).
+	rd := 0
+	unknownStore := false
+	var knownStores []*uop.UOp
+	for _, u := range l.entries {
+		if u.IsStore() {
+			if u.EADone == uop.NotYet || u.EADone > cycle {
+				unknownStore = true
+			} else {
+				knownStores = append(knownStores, u)
+				// A store retires once both its address and its data are
+				// known; the EA issued on the address alone.
+				if u.Complete == uop.NotYet && u.OperandReady(0, cycle) {
+					u.Complete = cycle
+				}
+			}
+			continue
+		}
+		if !u.IsLoad() || u.Complete != uop.NotYet || u.MemKind != uop.MemNone {
+			continue
+		}
+		if u.EADone == uop.NotYet || u.EADone > cycle {
+			continue
+		}
+		if unknownStore {
+			l.blockedByStore++
+			continue
+		}
+		// Store-to-load forwarding: the youngest older overlapping store.
+		var fwd *uop.UOp
+		for _, st := range knownStores {
+			if overlap(u.Inst.Addr, u.Inst.Size, st.Inst.Addr, st.Inst.Size) {
+				fwd = st
+			}
+		}
+		fwdFromWriteQ := false
+		if fwd == nil {
+			for _, w := range l.writeQ {
+				if overlap(u.Inst.Addr, u.Inst.Size, w.addr, w.size) {
+					fwdFromWriteQ = true
+				}
+			}
+		}
+		if fwd != nil || fwdFromWriteQ {
+			l.forwards++
+			u.MemKind = uop.MemHit
+			u.Complete = cycle + 1
+			cu := u
+			l.eq.Schedule(cycle+1, func(t int64) { l.finishLoad(t, cu) })
+			continue
+		}
+		if rd >= l.rdPorts {
+			continue
+		}
+		kind := l.l1d.Probe(u.Inst.Addr)
+		cu := u
+		if !l.l1d.Access(cycle, u.Inst.Addr, false, func(t int64, k mem.Kind) {
+			cu.Complete = t
+			cu.MemKind = int8(k)
+			l.finishLoad(t, cu)
+		}) {
+			l.mshrRejects++
+			continue
+		}
+		rd++
+		l.loadsIssued++
+		u.MemKind = int8(kind) // provisional; overwritten at completion
+		if kind != mem.KindHit {
+			// The miss is detected after the tag lookup: suspend the
+			// load's chain (§3.4).
+			l.eq.Schedule(cycle+l.missDetectLat, func(t int64) { l.q.NotifyLoadMiss(t, cu) })
+		}
+	}
+}
+
+func (l *LSQ) finishLoad(t int64, u *uop.UOp) {
+	l.q.NotifyLoadComplete(t, u)
+	l.q.Writeback(t, u)
+	if l.OnLoadDone != nil {
+		l.OnLoadDone(t, u)
+	}
+}
+
+// Forwards returns the number of store-to-load forwards.
+func (l *LSQ) Forwards() uint64 { return l.forwards }
+
+// MSHRRejects returns load issue attempts bounced by a full MSHR file.
+func (l *LSQ) MSHRRejects() uint64 { return l.mshrRejects }
+
+// LoadsIssued returns the number of cache load accesses initiated.
+func (l *LSQ) LoadsIssued() uint64 { return l.loadsIssued }
+
+// StoreWrites returns the number of retired store writes performed.
+func (l *LSQ) StoreWrites() uint64 { return l.storeWrites }
+
+// BlockedByStore returns load-cycles spent waiting on unresolved older
+// store addresses.
+func (l *LSQ) BlockedByStore() uint64 { return l.blockedByStore }

@@ -1,0 +1,21 @@
+package presched_test
+
+import (
+	"testing"
+
+	"repro/internal/iq"
+	"repro/internal/iq/iqtest"
+	"repro/internal/presched"
+)
+
+func TestConformanceFuzz(t *testing.T) {
+	for name, cfg := range map[string]presched.Config{
+		"default-320": presched.DefaultConfig(320),
+		"tiny":        {Lines: 4, LineWidth: 3, IssueBuffer: 4, PredictedLoadLatency: 4},
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			iqtest.Fuzz(t, func() iq.Queue { return presched.MustNew(cfg) }, iqtest.DefaultOptions())
+		})
+	}
+}

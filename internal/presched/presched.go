@@ -1,0 +1,409 @@
+// Package presched implements the prescheduling instruction queue of
+// Michaud & Seznec, the quasi-static dependence-based baseline the paper
+// compares against (§2, §6.3).
+//
+// Instructions are placed at dispatch into a scheduling array whose rows
+// correspond to future cycles, using latencies predicted from a register
+// availability table (loads are assumed to hit the L1). Each cycle the
+// oldest row drains into a small conventional issue buffer; instructions
+// issue only from that buffer. A mispredicted load latency leaves the
+// load's dependents camping in the issue buffer long before they are
+// ready — the inflexibility the segmented IQ's dynamic chains remove.
+package presched
+
+import (
+	"fmt"
+
+	"repro/internal/iq"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/uop"
+)
+
+// Config describes a prescheduling IQ.
+type Config struct {
+	// Lines is the number of scheduling-array rows.
+	Lines int
+	// LineWidth is the instruction slots per row (12, per the authors'
+	// recommended configuration).
+	LineWidth int
+	// IssueBuffer is the size of the fully associative issue buffer (32).
+	IssueBuffer int
+	// PredictedLoadLatency is the assumed load-to-use latency (EA + L1
+	// hit).
+	PredictedLoadLatency int
+	// Threads is the number of hardware contexts sharing the queue; the
+	// availability table is replicated per context. 0 means 1.
+	Threads int
+}
+
+// DefaultConfig returns the configuration the paper simulates for a given
+// total capacity: a 32-entry issue buffer plus 12-wide rows.
+func DefaultConfig(totalSlots int) Config {
+	lines := (totalSlots - 32) / 12
+	if lines < 1 {
+		lines = 1
+	}
+	return Config{Lines: lines, LineWidth: 12, IssueBuffer: 32, PredictedLoadLatency: 4}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Lines < 1 || c.LineWidth < 1 || c.IssueBuffer < 1 {
+		return fmt.Errorf("presched: non-positive geometry %+v", c)
+	}
+	if c.PredictedLoadLatency < 1 {
+		return fmt.Errorf("presched: predicted load latency %d < 1", c.PredictedLoadLatency)
+	}
+	return nil
+}
+
+type availEntry struct {
+	valid    bool
+	producer *uop.UOp
+	at       int64 // predicted availability cycle
+}
+
+// PreschedIQ implements iq.Queue.
+type PreschedIQ struct {
+	cfg   Config
+	lines [][]*uop.UOp // ring buffer of rows
+	head  int          // index of the oldest row
+	base  int64        // predicted-ready cycle of the oldest row
+	buf   []*uop.UOp   // issue buffer
+	bufAt []int64      // cycle each buffer entry arrived (parallel to buf)
+	total int
+
+	avail []availEntry // threads * NumRegs
+
+	stDispatched stats.Counter
+	stIssued     stats.Counter
+	stStallFull  stats.Counter
+	stRecycled   stats.Counter
+	stBufOcc     stats.Mean
+	stBufUnready stats.Mean
+	stArrayOcc   stats.Mean
+}
+
+// New builds a prescheduling IQ.
+func New(cfg Config) (*PreschedIQ, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	return &PreschedIQ{
+		cfg:   cfg,
+		lines: make([][]*uop.UOp, cfg.Lines),
+		avail: make([]availEntry, threads*isa.NumRegs),
+		base:  0,
+	}, nil
+}
+
+// availRow returns a thread's availability-table entry for reg.
+func (q *PreschedIQ) availRow(thread, reg int) *availEntry {
+	return &q.avail[thread*isa.NumRegs+reg]
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *PreschedIQ {
+	q, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Name implements iq.Queue.
+func (q *PreschedIQ) Name() string { return "prescheduled" }
+
+// Capacity implements iq.Queue.
+func (q *PreschedIQ) Capacity() int { return q.cfg.IssueBuffer + q.cfg.Lines*q.cfg.LineWidth }
+
+// Len implements iq.Queue.
+func (q *PreschedIQ) Len() int { return q.total }
+
+// ExtraDispatchStages implements iq.Queue: prescheduling costs an extra
+// dispatch cycle, as the paper charges (§5).
+func (q *PreschedIQ) ExtraDispatchStages() int { return 1 }
+
+// BeginCycle implements iq.Queue: the oldest due row drains into the issue
+// buffer; the array advances one row per cycle at most, and stalls while
+// the buffer lacks space.
+func (q *PreschedIQ) BeginCycle(cycle int64) {
+	if q.base <= cycle {
+		// Recycling (Michaud & Seznec): instructions that reached the
+		// issue buffer before their operands — a mispredicted load
+		// latency — are reinserted into the scheduling array when the
+		// buffer is full and a row is waiting to drain. Without it the
+		// buffer wedges solid with campers.
+		if len(q.lines[q.head]) > 0 && len(q.buf) >= q.cfg.IssueBuffer {
+			q.recycleCampers(cycle, len(q.lines[q.head]))
+		}
+		row := q.lines[q.head]
+		moved := 0
+		for _, u := range row {
+			if len(q.buf) >= q.cfg.IssueBuffer {
+				break
+			}
+			q.buf = append(q.buf, u)
+			q.bufAt = append(q.bufAt, cycle)
+			moved++
+		}
+		if moved > 0 {
+			q.lines[q.head] = append(row[:0], row[moved:]...)
+		}
+		if len(q.lines[q.head]) == 0 {
+			q.lines[q.head] = nil
+			q.head = (q.head + 1) % q.cfg.Lines
+			q.base++
+		}
+	}
+
+	// Statistics.
+	q.stBufOcc.Observe(float64(len(q.buf)))
+	unready := 0
+	for _, u := range q.buf {
+		if !u.Ready(cycle) {
+			unready++
+		}
+	}
+	q.stBufUnready.Observe(float64(unready))
+	q.stArrayOcc.Observe(float64(q.total - len(q.buf)))
+}
+
+// recycleCampers removes up to need unready instructions from the issue
+// buffer, youngest first, and reinserts them into the scheduling array at
+// their re-predicted ready rows (a fixed reinsertion distance when the
+// producer's latency is still unknown).
+func (q *PreschedIQ) recycleCampers(cycle int64, need int) {
+	const unknownDelay = 8
+	for n := 0; n < need; n++ {
+		pick := -1
+		for i := len(q.buf) - 1; i >= 0; i-- {
+			if !q.buf[i].IssueReady(cycle) {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return // every camper is ready; they will issue
+		}
+		u := q.buf[pick]
+		q.buf = append(q.buf[:pick], q.buf[pick+1:]...)
+		q.bufAt = append(q.bufAt[:pick], q.bufAt[pick+1:]...)
+
+		d := int64(unknownDelay)
+		known := true
+		for j := 0; j < 2; j++ {
+			if u.IsStore() && j == 0 {
+				continue
+			}
+			if p := u.Prod[j]; p != nil && p.Complete == uop.NotYet {
+				known = false
+			} else if p != nil && p.Complete-cycle > d {
+				d = p.Complete - cycle
+			}
+		}
+		if !known {
+			d = unknownDelay
+		}
+		idx := int(d)
+		if idx >= q.cfg.Lines {
+			idx = q.cfg.Lines - 1
+		}
+		if idx < 1 {
+			idx = 1 // never into the head row: it is what we are draining
+		}
+		placed := -1
+		for k := idx; k < q.cfg.Lines && placed < 0; k++ {
+			if slot := (q.head + k) % q.cfg.Lines; len(q.lines[slot]) < q.cfg.LineWidth {
+				placed = slot
+			}
+		}
+		for k := idx - 1; k >= 1 && placed < 0; k-- {
+			if slot := (q.head + k) % q.cfg.Lines; len(q.lines[slot]) < q.cfg.LineWidth {
+				placed = slot
+			}
+		}
+		if placed < 0 {
+			// Array completely full: swap the camper with the globally
+			// oldest array instruction. The pop above freed a buffer
+			// slot, the oldest instruction is the one whose completion
+			// unblocks the machine (it is the ROB head or feeds it), and
+			// the camper takes its slot — guaranteed forward progress
+			// even when every structure is full.
+			oldRow, oldIdx := -1, -1
+			var oldest *uop.UOp
+			for r := 0; r < q.cfg.Lines; r++ {
+				for i, x := range q.lines[r] {
+					if oldest == nil || x.Seq < oldest.Seq {
+						oldest, oldRow, oldIdx = x, r, i
+					}
+				}
+			}
+			if oldest == nil {
+				// No array instructions at all: give up (cannot happen
+				// while placement fails, but stay safe).
+				q.buf = append(q.buf, u)
+				q.bufAt = append(q.bufAt, cycle)
+				return
+			}
+			q.lines[oldRow] = append(q.lines[oldRow][:oldIdx], q.lines[oldRow][oldIdx+1:]...)
+			q.buf = append(q.buf, oldest)
+			q.bufAt = append(q.bufAt, cycle)
+			placed = oldRow
+		}
+		q.lines[placed] = append(q.lines[placed], u)
+		q.stRecycled.Inc()
+	}
+}
+
+// Issue implements iq.Queue: conventional wakeup/select over the issue
+// buffer only.
+func (q *PreschedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
+	var out []*uop.UOp
+	kept := q.buf[:0]
+	keptAt := q.bufAt[:0]
+	for i, u := range q.buf {
+		if len(out) < max && q.bufAt[i] < cycle && u.IssueReady(cycle) && tryIssue(u) {
+			u.IssueCycle = cycle
+			out = append(out, u)
+			continue
+		}
+		kept = append(kept, u)
+		keptAt = append(keptAt, q.bufAt[i])
+	}
+	for i := len(kept); i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = kept
+	q.bufAt = keptAt
+	q.total -= len(out)
+	q.stIssued.Add(uint64(len(out)))
+	return out
+}
+
+// predictedReady returns the cycle operand j of u is expected to become
+// available, preferring exact knowledge (a resolved producer) over the
+// availability table's prediction.
+func (q *PreschedIQ) predictedReady(u *uop.UOp, j int, cycle int64) int64 {
+	src := u.Src(j)
+	if src == isa.RegNone || src == isa.RegZero {
+		return cycle
+	}
+	if p := u.Prod[j]; p != nil && p.Complete != uop.NotYet {
+		return p.Complete
+	}
+	e := q.availRow(u.Thread, src)
+	if e.valid && e.producer != nil && e.producer.Complete == uop.NotYet {
+		return e.at
+	}
+	if e.valid && e.producer != nil && e.producer.Complete != uop.NotYet {
+		return e.producer.Complete
+	}
+	return cycle
+}
+
+// Dispatch implements iq.Queue: quasi-static placement by predicted ready
+// time. Returns false when the target row and every later row is full.
+// A store is placed by its address operand alone (the data drains through
+// the LSQ).
+func (q *PreschedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
+	r := q.predictedReady(u, 1, cycle)
+	if !u.IsStore() {
+		if r0 := q.predictedReady(u, 0, cycle); r0 > r {
+			r = r0
+		}
+	}
+	d := r - cycle
+	if d < 0 {
+		d = 0
+	}
+	idx := int(d)
+	if idx >= q.cfg.Lines {
+		idx = q.cfg.Lines - 1
+	}
+	placed := -1
+	for k := idx; k < q.cfg.Lines; k++ {
+		slot := (q.head + k) % q.cfg.Lines
+		if len(q.lines[slot]) < q.cfg.LineWidth {
+			placed = slot
+			break
+		}
+	}
+	if placed < 0 {
+		q.stStallFull.Inc()
+		return false
+	}
+	u.DispatchCycle = cycle
+	q.lines[placed] = append(q.lines[placed], u)
+	q.total++
+	q.stDispatched.Inc()
+
+	if u.Inst.HasDest() {
+		lat := int64(u.Latency())
+		if u.IsLoad() {
+			lat = int64(q.cfg.PredictedLoadLatency)
+		}
+		// Predicted issue is one cycle after the row drains to the buffer.
+		*q.availRow(u.Thread, u.Inst.Dest) = availEntry{valid: true, producer: u, at: cycle + d + 1 + lat}
+	}
+	return true
+}
+
+// NotifyLoadMiss implements iq.Queue: the prescheduling design has no
+// post-dispatch correction mechanism — the paper's central criticism.
+func (q *PreschedIQ) NotifyLoadMiss(cycle int64, u *uop.UOp) {}
+
+// NotifyLoadComplete implements iq.Queue (no-op; future dependents use the
+// resolved completion time through the producer edge).
+func (q *PreschedIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {}
+
+// Writeback implements iq.Queue: release the availability-table row.
+func (q *PreschedIQ) Writeback(cycle int64, u *uop.UOp) {
+	if !u.Inst.HasDest() {
+		return
+	}
+	e := q.availRow(u.Thread, u.Inst.Dest)
+	if e.valid && e.producer == u {
+		e.valid = false
+		e.producer = nil
+	}
+}
+
+// EndCycle implements iq.Queue (the array always advances; no deadlock).
+func (q *PreschedIQ) EndCycle(cycle int64, machineActive bool) {}
+
+// CollectStats implements iq.Queue.
+func (q *PreschedIQ) CollectStats(s *stats.Set) {
+	s.Put("iq_dispatched", float64(q.stDispatched.Value()))
+	s.Put("iq_issued", float64(q.stIssued.Value()))
+	s.Put("iq_stall_full", float64(q.stStallFull.Value()))
+	s.Put("presched_recycled", float64(q.stRecycled.Value()))
+	s.Put("presched_buf_occupancy_avg", q.stBufOcc.Value())
+	s.Put("presched_buf_unready_avg", q.stBufUnready.Value())
+	s.Put("presched_array_occupancy_avg", q.stArrayOcc.Value())
+}
+
+var _ iq.Queue = (*PreschedIQ)(nil)
+
+// DebugLocate reports where a uop currently resides: "buffer", a row
+// offset like "row+3", or "absent". Diagnostic use only.
+func (q *PreschedIQ) DebugLocate(u *uop.UOp) string {
+	for _, x := range q.buf {
+		if x == u {
+			return "buffer"
+		}
+	}
+	for k := 0; k < q.cfg.Lines; k++ {
+		for _, x := range q.lines[(q.head+k)%q.cfg.Lines] {
+			if x == u {
+				return fmt.Sprintf("row+%d (base=%d)", k, q.base)
+			}
+		}
+	}
+	return "absent"
+}

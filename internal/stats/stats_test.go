@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.Max() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		m.Observe(v)
+	}
+	if m.Value() != 2.5 {
+		t.Errorf("mean = %v, want 2.5", m.Value())
+	}
+	if m.Max() != 4 {
+		t.Errorf("max = %v, want 4", m.Max())
+	}
+	if m.Count() != 4 {
+		t.Errorf("count = %d, want 4", m.Count())
+	}
+	if m.Sum() != 10 {
+		t.Errorf("sum = %v, want 10", m.Sum())
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Error("reset failed")
+	}
+	// Max must track even when the first sample is the largest (and when
+	// samples are negative).
+	m.Observe(-3)
+	m.Observe(-9)
+	if m.Max() != -3 {
+		t.Errorf("max = %v, want -3", m.Max())
+	}
+}
+
+func TestPeak(t *testing.T) {
+	var p Peak
+	p.Add(3)
+	p.Add(5)
+	p.Add(-4)
+	if p.Current() != 4 {
+		t.Errorf("current = %d, want 4", p.Current())
+	}
+	if p.Value() != 8 {
+		t.Errorf("peak = %d, want 8", p.Value())
+	}
+	p.Set(20)
+	if p.Value() != 20 {
+		t.Errorf("peak after Set = %d, want 20", p.Value())
+	}
+	p.Reset()
+	if p.Value() != 0 || p.Current() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestDist(t *testing.T) {
+	d := NewDist(4)
+	for _, v := range []int{0, 1, 1, 2, 9, -5} {
+		d.Observe(v)
+	}
+	if d.Total() != 6 {
+		t.Fatalf("total = %d", d.Total())
+	}
+	if d.Bucket(0) != 2 { // 0 and clamped -5
+		t.Errorf("bucket0 = %d, want 2", d.Bucket(0))
+	}
+	if d.Bucket(1) != 2 {
+		t.Errorf("bucket1 = %d, want 2", d.Bucket(1))
+	}
+	if d.Bucket(d.NumBuckets()-1) != 1 { // overflow catches 9
+		t.Errorf("overflow = %d, want 1", d.Bucket(d.NumBuckets()-1))
+	}
+	if d.Bucket(-1) != 0 || d.Bucket(99) != 0 {
+		t.Error("out-of-range buckets should read 0")
+	}
+	wantMean := (0.0 + 1 + 1 + 2 + 9 + 0) / 6
+	if math.Abs(d.Mean()-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", d.Mean(), wantMean)
+	}
+	if f := d.Fraction(1); math.Abs(f-2.0/6) > 1e-12 {
+		t.Errorf("fraction(1) = %v", f)
+	}
+	if NewDist(0).NumBuckets() != 2 {
+		t.Error("degenerate dist should have at least one regular bucket")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("divide by zero should be 0")
+	}
+	if Ratio(1, 4) != 0.25 {
+		t.Error("ratio wrong")
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Put("ipc", 2.5)
+	s.Put("cycles", 1000)
+	s.Put("ipc", 3.0) // overwrite keeps position
+	if got := s.Names(); len(got) != 2 || got[0] != "ipc" || got[1] != "cycles" {
+		t.Fatalf("names = %v", got)
+	}
+	if v, ok := s.Get("ipc"); !ok || v != 3.0 {
+		t.Errorf("Get(ipc) = %v,%v", v, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("Get of missing stat should report absence")
+	}
+	if s.MustGet("cycles") != 1000 {
+		t.Error("MustGet wrong")
+	}
+	out := s.String()
+	if !strings.Contains(out, "ipc") || !strings.Contains(out, "1000") {
+		t.Errorf("render: %q", out)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustGet of missing stat should panic")
+			}
+		}()
+		s.MustGet("nope")
+	}()
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("bench", "ideal", "seg")
+	tb.AddRowValues("swim", 2, 3.1, 2.5)
+	tb.AddRow("gcc", map[string]string{"ideal": "1.10"})
+	out := tb.String()
+	if !strings.Contains(out, "bench") || !strings.Contains(out, "3.10") {
+		t.Errorf("table render missing data:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing cell should render as '-':\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected header+rule+2 rows, got %d lines", len(lines))
+	}
+	// Extra values beyond the declared columns are ignored.
+	tb2 := NewTable("x", "a")
+	tb2.AddRowValues("r", 0, 1, 2, 3)
+	if strings.Contains(tb2.String(), "3") {
+		t.Error("extra values should be dropped")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{0, -1, 4}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean should skip non-positive, got %v", g)
+	}
+	if ArithMean(nil) != 0 {
+		t.Error("empty arithmean should be 0")
+	}
+	if a := ArithMean([]float64{1, 3}); a != 2 {
+		t.Errorf("arithmean = %v", a)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedNames(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedNames = %v", got)
+	}
+}
+
+// Property: a Dist never loses samples and its buckets always sum to Total.
+func TestDistConservationProperty(t *testing.T) {
+	f := func(samples []int16, nBuckets uint8) bool {
+		d := NewDist(int(nBuckets%32) + 1)
+		for _, s := range samples {
+			d.Observe(int(s))
+		}
+		var sum uint64
+		for i := 0; i < d.NumBuckets(); i++ {
+			sum += d.Bucket(i)
+		}
+		return sum == d.Total() && d.Total() == uint64(len(samples))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Peak.Value is always >= Peak.Current and never decreases.
+func TestPeakMonotoneProperty(t *testing.T) {
+	f := func(deltas []int8) bool {
+		var p Peak
+		prevPeak := int64(0)
+		for _, d := range deltas {
+			p.Add(int64(d))
+			if p.Value() < prevPeak || p.Value() < p.Current() {
+				return false
+			}
+			prevPeak = p.Value()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Profile summarises the dynamic properties of a stream prefix; it backs
+// cmd/tracedump and the workload-shape tests.
+type Profile struct {
+	Name         string
+	Instructions int
+	ClassCount   [isa.NumClasses]int
+	Branches     int
+	TakenBranch  int
+	Loads        int
+	Stores       int
+	// UniqueLines counts distinct 64-byte data lines touched — a proxy for
+	// working-set size.
+	UniqueLines int
+	// UniquePCs counts distinct static instructions.
+	UniquePCs int
+	// AvgDepDist is the mean distance, in dynamic instructions, between a
+	// register consumer and its most recent producer (smaller = more
+	// serial code).
+	AvgDepDist float64
+}
+
+// Characterize drains up to n instructions from s and profiles them.
+func Characterize(s Stream, n int) Profile {
+	p := Profile{Name: s.Name()}
+	lines := make(map[uint64]struct{})
+	pcs := make(map[uint64]struct{})
+	lastWrite := make(map[int]int) // arch reg -> instruction index
+	depSum, depCount := 0.0, 0
+
+	for i := 0; i < n; i++ {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		p.Instructions++
+		p.ClassCount[in.Class]++
+		pcs[in.PC] = struct{}{}
+		switch {
+		case in.Class == isa.Branch:
+			p.Branches++
+			if in.Taken {
+				p.TakenBranch++
+			}
+		case in.Class == isa.Load:
+			p.Loads++
+			lines[in.Addr>>6] = struct{}{}
+		case in.Class == isa.Store:
+			p.Stores++
+			lines[in.Addr>>6] = struct{}{}
+		}
+		for _, src := range [...]int{in.Src1, in.Src2} {
+			if src == isa.RegNone || src == isa.RegZero {
+				continue
+			}
+			if w, ok := lastWrite[src]; ok {
+				depSum += float64(i - w)
+				depCount++
+			}
+		}
+		if in.HasDest() {
+			lastWrite[in.Dest] = i
+		}
+	}
+	p.UniqueLines = len(lines)
+	p.UniquePCs = len(pcs)
+	if depCount > 0 {
+		p.AvgDepDist = depSum / float64(depCount)
+	}
+	return p
+}
+
+// ClassFraction returns the fraction of profiled instructions in class c.
+func (p Profile) ClassFraction(c isa.Class) float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.ClassCount[c]) / float64(p.Instructions)
+}
+
+// MemFraction returns the fraction of instructions that access memory.
+func (p Profile) MemFraction() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.Loads+p.Stores) / float64(p.Instructions)
+}
+
+// BranchFraction returns the fraction of instructions that are branches.
+func (p Profile) BranchFraction() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.Branches) / float64(p.Instructions)
+}
+
+// FpFraction returns the fraction of instructions in FP classes.
+func (p Profile) FpFraction() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	n := 0
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if c.IsFP() {
+			n += p.ClassCount[c]
+		}
+	}
+	return float64(n) / float64(p.Instructions)
+}
+
+// String renders the profile as a multi-line report.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s: %d instructions, %d static\n", p.Name, p.Instructions, p.UniquePCs)
+	fmt.Fprintf(&b, "  loads %.1f%%  stores %.1f%%  branches %.1f%% (%.1f%% taken)  fp %.1f%%\n",
+		100*float64(p.Loads)/max1(p.Instructions),
+		100*float64(p.Stores)/max1(p.Instructions),
+		100*p.BranchFraction(),
+		100*float64(p.TakenBranch)/max1(p.Branches),
+		100*p.FpFraction())
+	fmt.Fprintf(&b, "  touched %d lines (~%d KB)  mean dep distance %.1f\n",
+		p.UniqueLines, p.UniqueLines*64/1024, p.AvgDepDist)
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if p.ClassCount[c] > 0 {
+			fmt.Fprintf(&b, "  %-7s %6.2f%%\n", c, 100*p.ClassFraction(c))
+		}
+	}
+	return b.String()
+}
+
+func max1(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return float64(n)
+}

@@ -1,0 +1,41 @@
+package trace
+
+// rng is a SplitMix64 pseudo-random generator. It is tiny, fast, and —
+// unlike math/rand sources — guaranteed stable across Go releases, which
+// keeps traces (and therefore every experiment in EXPERIMENTS.md)
+// bit-reproducible.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("trace: intn with non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// prob returns true with probability p (clamped to [0,1]).
+func (r *rng) prob(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(r.next()>>11)/(1<<53) < p
+}

@@ -1,0 +1,473 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestNamesAndNew(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("want 8 benchmarks, got %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		s, err := New(n, 1)
+		if err != nil {
+			t.Fatalf("New(%s): %v", n, err)
+		}
+		if s.Name() != n {
+			t.Errorf("stream name %q != %q", s.Name(), n)
+		}
+	}
+	if _, err := New("bogus", 1); err == nil {
+		t.Error("New of unknown benchmark should fail")
+	}
+}
+
+func TestAllBenchmarksWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := New(name, 42)
+		for i := 0; i < 20000; i++ {
+			in, ok := s.Next()
+			if !ok {
+				t.Fatalf("%s: stream exhausted at %d", name, i)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s inst %d: %v (%s)", name, i, err, in.String())
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := New(name, 7)
+		b, _ := New(name, 7)
+		for i := 0; i < 5000; i++ {
+			x, _ := a.Next()
+			y, _ := b.Next()
+			if x != y {
+				t.Fatalf("%s: divergence at %d: %v vs %v", name, i, x, y)
+			}
+		}
+	}
+}
+
+func TestSeedChangesDataDependentBehaviour(t *testing.T) {
+	// gcc's branches are data dependent, so different seeds must give
+	// different outcome sequences.
+	a, _ := New("gcc", 1)
+	b, _ := New("gcc", 2)
+	diff := false
+	for i := 0; i < 5000 && !diff; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x.Class == isa.Branch && x.Taken != y.Taken {
+			diff = true
+		}
+		if x.PC != y.PC {
+			// Control flow diverged entirely, which also counts.
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seeds 1 and 2 produced identical gcc branch behaviour")
+	}
+}
+
+func TestStablePCs(t *testing.T) {
+	// Each workload must present a bounded static footprint so PC-indexed
+	// predictors see repeated instances of the same instructions.
+	for _, name := range Names() {
+		p := Characterize(mustNew(t, name), 30000)
+		if p.UniquePCs > 64 {
+			t.Errorf("%s: %d static PCs, want a compact loop kernel", name, p.UniquePCs)
+		}
+		if p.UniquePCs < 5 {
+			t.Errorf("%s: implausibly few static PCs (%d)", name, p.UniquePCs)
+		}
+	}
+}
+
+func mustNew(t *testing.T, name string) Stream {
+	t.Helper()
+	s, err := New(name, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	// The substitution contract from DESIGN.md §2: each workload carries
+	// the characteristics the paper's analysis relies on.
+	prof := make(map[string]Profile)
+	for _, name := range Names() {
+		prof[name] = Characterize(mustNew(t, name), 50000)
+	}
+
+	// FP benchmarks are FP-heavy; integer benchmarks have no FP at all.
+	for _, fpb := range []string{"swim", "mgrid", "applu", "equake", "ammp"} {
+		if got := prof[fpb].FpFraction(); got < 0.25 {
+			t.Errorf("%s: fp fraction %.2f too low", fpb, got)
+		}
+	}
+	for _, ib := range []string{"gcc", "twolf", "vortex"} {
+		if got := prof[ib].FpFraction(); got != 0 {
+			t.Errorf("%s: fp fraction %.2f, want 0", ib, got)
+		}
+	}
+
+	// Working sets: gcc tiny (L1-resident), swim enormous (streams 16 MB).
+	if kb := prof["gcc"].UniqueLines * 64 / 1024; kb > 80 {
+		t.Errorf("gcc working set %d KB, want L1-resident", kb)
+	}
+	// swim streams with no reuse: footprint grows linearly with the
+	// profiled window (5 cursors x 16 B per 13-instruction iteration
+	// over 50 k instructions ~= 240 KB, far beyond the L1).
+	if kb := prof["swim"].UniqueLines * 64 / 1024; kb < 150 {
+		t.Errorf("swim touched only %d KB, want streaming footprint", kb)
+	}
+
+	// Branchiness: gcc branchier than swim by a wide margin.
+	if prof["gcc"].BranchFraction() < 2*prof["swim"].BranchFraction() {
+		t.Errorf("gcc branch fraction %.3f should far exceed swim %.3f",
+			prof["gcc"].BranchFraction(), prof["swim"].BranchFraction())
+	}
+
+	// Memory intensity: every workload performs loads and stores.
+	for name, p := range prof {
+		if p.Loads == 0 || p.Stores == 0 {
+			t.Errorf("%s: loads=%d stores=%d", name, p.Loads, p.Stores)
+		}
+		if p.MemFraction() < 0.05 || p.MemFraction() > 0.7 {
+			t.Errorf("%s: memory fraction %.2f out of plausible range", name, p.MemFraction())
+		}
+	}
+
+	// Serialization: twolf's pointer chase has short dep distances
+	// relative to mgrid's wide stencil.
+	if prof["twolf"].AvgDepDist > prof["mgrid"].AvgDepDist {
+		t.Errorf("twolf dep distance %.1f should be below mgrid %.1f",
+			prof["twolf"].AvgDepDist, prof["mgrid"].AvgDepDist)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s, _ := New("swim", 1)
+	l := Limit(s, 10)
+	if l.Name() != "swim" {
+		t.Error("Limited should forward Name")
+	}
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+		if n > 10 {
+			t.Fatal("limit not enforced")
+		}
+	}
+	if n != 10 {
+		t.Errorf("got %d instructions, want 10", n)
+	}
+}
+
+func TestFromSliceAndTake(t *testing.T) {
+	ins := []isa.Inst{
+		{PC: 4, Class: isa.IntAlu, Src1: 1, Src2: 2, Dest: 3},
+		{PC: 8, Class: isa.IntAlu, Src1: 3, Src2: 2, Dest: 4},
+	}
+	s := FromSlice("demo", ins)
+	if s.Name() != "demo" {
+		t.Error("name")
+	}
+	got := Take(s, 5)
+	if len(got) != 2 || got[0].PC != 4 || got[1].PC != 8 {
+		t.Errorf("Take = %v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted slice stream should report !ok")
+	}
+}
+
+func TestKernelBuilderErrors(t *testing.T) {
+	// Instruction before any block.
+	b := newKernel("bad", 0)
+	b.op(isa.IntAlu, 1, 2, 3)
+	if _, err := b.build(); err == nil {
+		t.Error("op before block should fail")
+	}
+	// Duplicate label.
+	b = newKernel("bad", 0)
+	b.block("x")
+	b.op(isa.IntAlu, 1, 2, 3)
+	b.block("x")
+	if _, err := b.build(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+	// No blocks.
+	if _, err := newKernel("bad", 0).build(); err == nil {
+		t.Error("empty kernel should fail")
+	}
+	// Empty block.
+	b = newKernel("bad", 0)
+	b.block("x")
+	if _, err := b.build(); err == nil {
+		t.Error("empty block should fail")
+	}
+	// Unknown branch target.
+	b = newKernel("bad", 0)
+	b.block("x")
+	b.branch(1, "nowhere", func() bool { return true })
+	if _, err := b.build(); err == nil {
+		t.Error("unknown target should fail")
+	}
+	// Memory op without address callback.
+	b = newKernel("bad", 0)
+	b.block("x")
+	b.add(staticOp{class: isa.Load, dest: 1, src1: 2, src2: isa.RegNone, size: 8})
+	if _, err := b.build(); err == nil {
+		t.Error("load without addr should fail")
+	}
+}
+
+func TestKernelControlFlow(t *testing.T) {
+	// A two-block loop: "top" falls through to "body" whose back-branch is
+	// taken twice then not taken. Check block sequencing and PCs.
+	b := newKernel("cf", 0x100)
+	b.block("top")
+	b.op(isa.IntAlu, 1, 1, 2)
+	b.block("body")
+	b.op(isa.IntAlu, 3, 1, 1)
+	b.branch(3, "body", loopTaken(3))
+	g := b.mustBuild()
+
+	var pcs []uint64
+	var takens []bool
+	for i := 0; i < 8; i++ {
+		in, _ := g.Next()
+		pcs = append(pcs, in.PC)
+		if in.Class == isa.Branch {
+			takens = append(takens, in.Taken)
+		}
+	}
+	// Expected: top(0x100) body(0x104,0x108 T) body(0x104,0x108 T)
+	// body(0x104,0x108 NT) then wrap: top(0x100)...
+	want := []uint64{0x100, 0x104, 0x108, 0x104, 0x108, 0x104, 0x108, 0x100}
+	for i, pc := range want {
+		if pcs[i] != pc {
+			t.Fatalf("pc[%d] = %#x, want %#x (full %v)", i, pcs[i], pc, pcs)
+		}
+	}
+	if len(takens) != 3 || !takens[0] || !takens[1] || takens[2] {
+		t.Errorf("branch outcomes = %v, want [true true false]", takens)
+	}
+}
+
+func TestJumpHelper(t *testing.T) {
+	b := newKernel("j", 0)
+	b.block("top")
+	b.op(isa.IntAlu, 1, 1, 2)
+	b.jump("top")
+	g := b.mustBuild()
+	for i := 0; i < 6; i++ {
+		in, _ := g.Next()
+		if in.Class == isa.Branch && !in.Taken {
+			t.Fatal("jump must always be taken")
+		}
+	}
+}
+
+func TestRNG(t *testing.T) {
+	r := newRNG(1)
+	a := r.next()
+	b := r.next()
+	if a == b {
+		t.Error("successive values should differ")
+	}
+	r2 := newRNG(1)
+	if r2.next() != a {
+		t.Error("rng not deterministic")
+	}
+	if !newRNG(3).prob(1.0) {
+		t.Error("prob(1) must be true")
+	}
+	if newRNG(3).prob(0.0) {
+		t.Error("prob(0) must be false")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("intn(0) should panic")
+			}
+		}()
+		r.intn(0)
+	}()
+}
+
+// Property: rng.intn is always within bounds, and prob estimates converge.
+func TestRNGProperties(t *testing.T) {
+	f := func(seed uint64, bound uint16) bool {
+		n := int(bound%1000) + 1
+		r := newRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+
+	r := newRNG(123)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if r.prob(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.27 || got > 0.33 {
+		t.Errorf("prob(0.3) frequency = %.3f", got)
+	}
+}
+
+// Property: streamCursor stays within its region and wraps.
+func TestStreamCursorProperty(t *testing.T) {
+	f := func(strideRaw uint8, steps uint16) bool {
+		stride := uint64(strideRaw%64) + 1
+		c := &streamCursor{base: 0x1000, size: 4096, stride: stride}
+		for i := 0; i < int(steps%2000); i++ {
+			a := c.next()
+			if a < 0x1000 || a >= 0x1000+4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: randCursor addresses are aligned slots within the region.
+func TestRandCursorProperty(t *testing.T) {
+	r := newRNG(5)
+	c := newRandCursor(r, 0x8000, 1<<16, 64)
+	for i := 0; i < 1000; i++ {
+		a := c.next()
+		if a < 0x8000 || a >= 0x8000+1<<16 {
+			t.Fatalf("address %#x out of region", a)
+		}
+		if (a-0x8000)%64 != 0 {
+			t.Fatalf("address %#x misaligned", a)
+		}
+		if c.rel(8) != a+8 {
+			t.Fatal("rel broken")
+		}
+	}
+}
+
+func TestTakenCallbacks(t *testing.T) {
+	lt := loopTaken(3)
+	want := []bool{true, true, false, true, true, false}
+	for i, w := range want {
+		if got := lt(); got != w {
+			t.Fatalf("loopTaken step %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestCharacterizeStops(t *testing.T) {
+	s := FromSlice("tiny", []isa.Inst{{PC: 4, Class: isa.IntAlu, Src1: 1, Src2: 2, Dest: 3}})
+	p := Characterize(s, 100)
+	if p.Instructions != 1 {
+		t.Errorf("profiled %d, want 1", p.Instructions)
+	}
+	if p.String() == "" {
+		t.Error("String should render")
+	}
+	// Empty profile accessors must not divide by zero.
+	var empty Profile
+	if empty.MemFraction() != 0 || empty.BranchFraction() != 0 ||
+		empty.FpFraction() != 0 || empty.ClassFraction(isa.IntAlu) != 0 {
+		t.Error("empty profile fractions should be 0")
+	}
+}
+
+func TestPublicBuilder(t *testing.T) {
+	r1, r2 := isa.IntReg(1), isa.IntReg(2)
+	b := NewBuilder("custom", 0x1000)
+	b.Block("top")
+	b.Op(isa.IntAlu, r1, r1, isa.IntReg(30))
+	b.Load(r2, r1, 8, StreamAddr(0x8000, 1<<12, 8))
+	b.LoadIndexed(isa.IntReg(3), isa.IntReg(30), r2, 8, RandAddr(3, 0x9000, 1<<12, 8))
+	b.Store(isa.IntReg(3), r2, 8, RandAddr(4, 0xa000, 1<<12, 8))
+	b.Branch(isa.IntReg(10), "top", LoopTaken(4))
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "custom" {
+		t.Error("name")
+	}
+	seen := 0
+	for i := 0; i < 40; i++ {
+		in, ok := s.Next()
+		if !ok {
+			t.Fatal("stream ended")
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("inst %d invalid: %v", i, err)
+		}
+		if in.Class == isa.Branch && in.Taken {
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Error("loop branch never taken")
+	}
+	// Builder errors propagate.
+	bad := NewBuilder("bad", 0)
+	bad.Block("x")
+	bad.Branch(1, "nowhere", func() bool { return true })
+	if _, err := bad.Build(); err == nil {
+		t.Error("unknown target should fail Build")
+	}
+	// Jump helper compiles to an always-taken branch.
+	j := NewBuilder("j", 0)
+	j.Block("top")
+	j.Op(isa.IntAlu, r1, r1, r2)
+	j.Jump("top")
+	js, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		in, _ := js.Next()
+		if in.Class == isa.Branch && !in.Taken {
+			t.Fatal("Jump must always be taken")
+		}
+	}
+	// Prob is deterministic per seed.
+	p1, p2 := Prob(5, 0.5), Prob(5, 0.5)
+	for i := 0; i < 50; i++ {
+		if p1() != p2() {
+			t.Fatal("Prob not deterministic")
+		}
+	}
+}

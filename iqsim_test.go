@@ -1,0 +1,119 @@
+package iqsim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func TestWorkloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 8 {
+		t.Fatalf("want 8 workloads, got %v", ws)
+	}
+	want := map[string]bool{"ammp": true, "applu": true, "equake": true, "gcc": true,
+		"mgrid": true, "swim": true, "twolf": true, "vortex": true}
+	for _, w := range ws {
+		if !want[w] {
+			t.Errorf("unexpected workload %q", w)
+		}
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if c := Ideal(512); c.QueueSize != 512 || c.ROBSize != 1536 {
+		t.Error("Ideal defaults wrong")
+	}
+	c := Segmented(512, 128, true, true)
+	if c.Segmented.Segments != 16 || c.Segmented.SegSize != 32 {
+		t.Error("Segmented geometry wrong")
+	}
+	if !c.Segmented.UseHMP || !c.Segmented.UseLRP {
+		t.Error("predictor flags not applied")
+	}
+	if !c.Segmented.Pushdown || !c.Segmented.Bypass || !c.Segmented.DeadlockRecovery {
+		t.Error("enhancements should default on")
+	}
+	p := Prescheduled(704)
+	if p.Presched.Lines != 56 || p.Presched.LineWidth != 12 || p.Presched.IssueBuffer != 32 {
+		t.Error("Prescheduled geometry wrong")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(Segmented(128, 64, true, true), "vortex", 1, 3000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 3000 || res.IPC <= 0 {
+		t.Fatalf("result implausible: %+v", res)
+	}
+	if res.QueueName != "segmented" || res.Workload != "vortex" {
+		t.Error("identity fields wrong")
+	}
+	if _, err := Run(Ideal(64), "no-such-workload", 1, 10, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestWorkloadStream(t *testing.T) {
+	s, err := Workload("gcc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "gcc" {
+		t.Error("name")
+	}
+	if _, ok := s.Next(); !ok {
+		t.Error("stream empty")
+	}
+	if _, err := Workload("bogus", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunStreamWithBuilder(t *testing.T) {
+	mk := func() trace.Stream {
+		b := NewWorkloadBuilder("k", 0x1000)
+		b.Block("top")
+		b.Op(isa.IntAlu, isa.IntReg(1), isa.IntReg(1), isa.IntReg(30))
+		b.Load(isa.IntReg(2), isa.IntReg(1), 8, trace.StreamAddr(0x8000, 1<<16, 8))
+		b.Branch(isa.IntReg(10), "top", trace.LoopTaken(8))
+		s, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, err := RunStream(Segmented(64, 16, false, false), mk(), 2000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := RunStream(Segmented(64, 16, false, false), mk(), 2000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b2.IPC || a.Cycles != b2.Cycles {
+		t.Fatalf("custom workload runs nondeterministic: %v vs %v", a.Cycles, b2.Cycles)
+	}
+	if a.Workload != "k" || a.IPC <= 0 {
+		t.Fatalf("result implausible: %+v", a)
+	}
+	// Invalid config propagates.
+	bad := Segmented(64, 16, false, false)
+	bad.Queue = "zzz"
+	if _, err := RunStream(bad, mk(), 10, 0); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSMTFacade(t *testing.T) {
+	r, err := RunSMT(Segmented(128, 64, true, true), []string{"gcc", "vortex"}, 1, 4000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions < 4000 || len(r.PerThread) != 2 {
+		t.Fatalf("smt result implausible: %+v", r)
+	}
+}
