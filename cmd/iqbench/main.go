@@ -10,6 +10,7 @@
 //	iqbench -experiment fig2
 //	iqbench -experiment fig3 -n 100000 -warm 500000
 //	iqbench -experiment table2 -benchmarks swim,equake
+//	iqbench -perf-json BENCH_1.json # simulator performance baseline
 package main
 
 import (
@@ -20,18 +21,38 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/perf"
 )
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, or all")
-		n       = flag.Int64("n", 0, "measured instructions per run (0 = default)")
-		warm    = flag.Int64("warm", 0, "warm-up instructions per run (0 = default)")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
-		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		exp      = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, or all")
+		n        = flag.Int64("n", 0, "measured instructions per run (0 = default)")
+		warm     = flag.Int64("warm", 0, "warm-up instructions per run (0 = default)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		perfJSON = flag.String("perf-json", "", "measure simulator performance (pinned workloads) and write a BENCH json baseline to this path, instead of running experiments")
 	)
 	flag.Parse()
+
+	if *perfJSON != "" {
+		start := time.Now()
+		b := perf.Measure()
+		if err := b.WriteJSON(*perfJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, w := range b.Workloads {
+			fmt.Printf("%-28s %12.0f ns/op %8d B/op %6d allocs/op", w.Name, w.NsPerOp, w.BytesPerOp, w.AllocsPerOp)
+			if w.SimMIPS > 0 {
+				fmt.Printf(" %8.3f simMIPS %8.0f ns/simcycle", w.SimMIPS, w.NsPerSimCycle)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("[perf baseline written to %s in %.1fs]\n", *perfJSON, time.Since(start).Seconds())
+		return
+	}
 
 	o := experiments.DefaultOptions()
 	if *n > 0 {

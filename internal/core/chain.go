@@ -120,14 +120,16 @@ func newWirePipe(nSegs int) *wirePipe {
 	return &wirePipe{nSegs: nSegs, cur: make([][]signal, nSegs+1)}
 }
 
-// shift advances every signal one position upward, returning the new
-// per-position signal sets. Signals leaving the table position vanish.
+// shift advances every signal one position upward. Signals leaving the
+// table position vanish; their slice's storage is recycled as the new
+// (empty) bottom position, so steady-state shifting allocates nothing.
 func (w *wirePipe) shift() {
-	next := make([][]signal, w.nSegs+1)
-	for k := w.nSegs; k >= 1; k-- {
-		next[k] = w.cur[k-1]
+	top := w.cur[w.nSegs]
+	copy(w.cur[1:], w.cur[:w.nSegs])
+	if top != nil {
+		top = top[:0]
 	}
-	w.cur = next
+	w.cur[0] = top
 }
 
 // assert adds a signal at segment position k for this cycle.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bpred"
 	"repro/internal/iq"
@@ -25,6 +24,16 @@ type SegmentedIQ struct {
 
 	prevFree []int // per-segment free slots at the end of the previous cycle
 	total    int   // occupied slots across all segments
+
+	// Scratch buffers reused across cycles so the steady-state cycle loop
+	// (BeginCycle → Issue) does not allocate. The slice Issue returns is
+	// backed by outScratch and remains valid only until the next call.
+	readyScratch []*entry
+	candScratch  []*entry
+	outScratch   []*uop.UOp
+	// entryPool recycles queue entries between writeback and dispatch, so
+	// steady-state dispatch allocates nothing either.
+	entryPool []*entry
 	// active is the number of powered segments (§7 dynamic resizing):
 	// dispatch only targets segments below it; gated segments drain and
 	// stay empty.
@@ -196,26 +205,46 @@ func (q *SegmentedIQ) BeginCycle(cycle int64) {
 
 	q.promote(cycle)
 
-	// Statistics.
-	q.stOccupancy.Observe(float64(q.total))
-	q.stActiveSegs.Observe(float64(q.active))
-	for k := range q.segs {
-		q.stSegOcc[k].Observe(float64(len(q.segs[k])))
-	}
-	ready0, readyAll := 0, 0
-	for k := range q.segs {
-		for _, e := range q.segs[k] {
-			if e.u.Ready(cycle) {
-				readyAll++
-				if k == 0 {
-					ready0++
+	// Statistics. The readiness scan walks every occupied slot, so it is
+	// gated behind the sampling knob (Config.StatsEvery); it has no effect
+	// on scheduling.
+	if every := int64(q.cfg.StatsEvery); every <= 1 || cycle%every == 0 {
+		q.stOccupancy.Observe(float64(q.total))
+		q.stActiveSegs.Observe(float64(q.active))
+		for k := range q.segs {
+			q.stSegOcc[k].Observe(float64(len(q.segs[k])))
+		}
+		ready0, readyAll := 0, 0
+		for k := range q.segs {
+			for _, e := range q.segs[k] {
+				if e.u.Ready(cycle) {
+					readyAll++
+					if k == 0 {
+						ready0++
+					}
 				}
 			}
 		}
+		q.stReadySeg0.Observe(float64(ready0))
+		q.stReadyTotal.Observe(float64(readyAll))
+		q.chains.sample()
 	}
-	q.stReadySeg0.Observe(float64(ready0))
-	q.stReadyTotal.Observe(float64(readyAll))
-	q.chains.sample()
+}
+
+// sortEntriesBySeq orders entries by ascending sequence number (oldest
+// first) with an in-place insertion sort: candidate lists are at most one
+// segment long and nearly sorted, and unlike sort.Slice this allocates no
+// closure.
+func sortEntriesBySeq(es []*entry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].u.Seq > e.u.Seq {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
 }
 
 // promote moves eligible instructions one segment downward, oldest first,
@@ -263,16 +292,17 @@ func (q *SegmentedIQ) promote(cycle int64) {
 // segment dest, oldest (lowest sequence number) first, asserting chain
 // wires for promoted heads. It returns the number moved.
 func (q *SegmentedIQ) moveSelected(k, dest, n int, cycle int64, pushdown bool, pick func(*entry) bool) int {
-	var cand []*entry
+	cand := q.candScratch[:0]
 	for _, e := range q.segs[k] {
 		if pick(e) {
 			cand = append(cand, e)
 		}
 	}
+	q.candScratch = cand[:0]
 	if len(cand) == 0 {
 		return 0
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].u.Seq < cand[j].u.Seq })
+	sortEntriesBySeq(cand)
 	if len(cand) > n {
 		cand = cand[:n]
 	}
@@ -312,15 +342,17 @@ func (q *SegmentedIQ) removeFromSegment(k int, e *entry) {
 // Issue implements iq.Queue: conventional wakeup/select over the bottom
 // segment only, oldest ready first. Issuing chain heads assert their wire
 // at segment 0 (members with head location zero enter self-timed mode).
+// The returned slice is owned by the queue and valid until the next call.
 func (q *SegmentedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
-	var ready []*entry
+	ready := q.readyScratch[:0]
 	for _, e := range q.segs[0] {
 		if e.arrived < cycle && e.u.IssueReady(cycle) {
 			ready = append(ready, e)
 		}
 	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i].u.Seq < ready[j].u.Seq })
-	var out []*uop.UOp
+	q.readyScratch = ready[:0]
+	sortEntriesBySeq(ready)
+	out := q.outScratch[:0]
 	for _, e := range ready {
 		if len(out) >= max {
 			break
@@ -337,6 +369,7 @@ func (q *SegmentedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) 
 		}
 		q.trainLRP(e)
 	}
+	q.outScratch = out
 	q.issuedThisCycle += len(out)
 	q.stIssued.Add(uint64(len(out)))
 	return out
@@ -430,7 +463,8 @@ func (q *SegmentedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 		j  int
 		re regEntry
 	}
-	var outs []srcOut
+	var outsArr [2]srcOut
+	outs := outsArr[:0]
 	for j := 0; j < 2; j++ {
 		if j == 0 && u.IsStore() {
 			// A store's delay value tracks only its address operand: the
@@ -481,7 +515,15 @@ func (q *SegmentedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 	}
 
 	// Commit point: no stalls past here.
-	e := &entry{u: u, seg: target, arrived: cycle, isHead: needHead, head: hd}
+	var e *entry
+	if n := len(q.entryPool); n > 0 {
+		e = q.entryPool[n-1]
+		q.entryPool[n-1] = nil
+		q.entryPool = q.entryPool[:n-1]
+		*e = entry{u: u, seg: target, arrived: cycle, isHead: needHead, head: hd}
+	} else {
+		e = &entry{u: u, seg: target, arrived: cycle, isHead: needHead, head: hd}
+	}
 	if len(outs) == 2 {
 		q.stTwoOutstanding.Inc()
 		if twoDiff {
@@ -611,6 +653,10 @@ func (q *SegmentedIQ) Writeback(cycle int64, u *uop.UOp) {
 		e.isHead = false
 	}
 	u.IQ = nil
+	// The entry left the queue segments at issue and its last external
+	// reference (u.IQ) is gone: recycle it.
+	e.u = nil
+	q.entryPool = append(q.entryPool, e)
 }
 
 // EndCycle implements iq.Queue: deadlock detection (§4.5). A deadlock is
@@ -682,6 +728,7 @@ func (q *SegmentedIQ) recover(cycle int64) {
 			// Cannot happen: removing the entry freed a slot that the
 			// forced promotions can only have cascaded upward.
 			recycled.seg = 0
+			recycled.arrived = cycle // may not issue in its recycling cycle
 			q.segs[0] = append(q.segs[0], recycled)
 		}
 	}

@@ -39,6 +39,9 @@ type Config struct {
 	PredictedLoadLatency int
 	// Threads replicates the availability table per hardware context.
 	Threads int
+	// StatsEvery samples the per-cycle wait-buffer occupancy statistic
+	// every n cycles (0 or 1: every cycle). Scheduling is unaffected.
+	StatsEvery int
 }
 
 // DefaultConfig mirrors the prescheduling geometry for a given total
@@ -79,6 +82,8 @@ type DistIQ struct {
 	base  int64
 	wait  []*uop.UOp // fully associative wait buffer (program order)
 	total int
+
+	outScratch []*uop.UOp // backs Issue's result; reused every cycle
 
 	avail []availEntry
 
@@ -170,7 +175,9 @@ func (q *DistIQ) BeginCycle(cycle int64) {
 		q.wait[i] = nil
 	}
 	q.wait = kept
-	q.stWaitOcc.Observe(float64(len(q.wait)))
+	if every := int64(q.cfg.StatsEvery); every <= 1 || cycle%every == 0 {
+		q.stWaitOcc.Observe(float64(len(q.wait)))
+	}
 
 	// Advance the array one row per cycle once due. Rows are issued from
 	// directly; an undrained row (issue-width pressure) holds the array.
@@ -300,13 +307,14 @@ func (q *DistIQ) insertArray(u *uop.UOp, r, cycle int64) bool {
 
 // Issue implements iq.Queue: directly from the oldest due row (its
 // instructions are ready by construction, up to resource conflicts and
-// the conservatism of "unknown" classification).
+// the conservatism of "unknown" classification). The returned slice is
+// owned by the queue and valid until the next call.
 func (q *DistIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
 	if q.base > cycle {
 		return nil
 	}
 	row := q.lines[q.head]
-	var out []*uop.UOp
+	out := q.outScratch[:0]
 	kept := row[:0]
 	for _, u := range row {
 		if len(out) < max && u.DispatchCycle < cycle && u.IssueReady(cycle) && tryIssue(u) {
@@ -321,6 +329,7 @@ func (q *DistIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uo
 	}
 	q.lines[q.head] = kept
 	q.total -= len(out)
+	q.outScratch = out
 	q.stIssued.Add(uint64(len(out)))
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -62,9 +63,24 @@ type job struct {
 // runAll executes jobs concurrently and returns results keyed by job key.
 // Any simulation error aborts the batch.
 func (o Options) runAll(jobs []job) (map[string]*sim.Result, error) {
+	return o.runAllWith(jobs, func(j job) (*sim.Result, error) {
+		return sim.RunWorkloadWarm(j.cfg, j.wl, o.Seed, o.Instructions, o.Warmup)
+	})
+}
+
+// runAllWith is runAll with the simulation injected, so the batch
+// machinery is testable without running real simulations. A failed job
+// flips an atomic stop flag: jobs that have not started yet observe it
+// before invoking run and are skipped, rather than burning a full
+// simulation each while the batch is already doomed. The first error (in
+// completion order) is returned.
+func (o Options) runAllWith(jobs []job, run func(job) (*sim.Result, error)) (map[string]*sim.Result, error) {
 	results := make(map[string]*sim.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
+	var (
+		mu       sync.Mutex
+		firstErr error
+		stop     atomic.Bool
+	)
 	sem := make(chan struct{}, o.parallel())
 	var wg sync.WaitGroup
 	for _, j := range jobs {
@@ -73,22 +89,22 @@ func (o Options) runAll(jobs []job) (map[string]*sim.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			mu.Lock()
-			stop := firstErr != nil
-			mu.Unlock()
-			if stop {
+			if stop.Load() {
 				return
 			}
-			r, err := sim.RunWorkloadWarm(j.cfg, j.wl, o.Seed, o.Instructions, o.Warmup)
-			mu.Lock()
-			defer mu.Unlock()
+			r, err := run(j)
 			if err != nil {
+				stop.Store(true)
+				mu.Lock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("%s: %w", j.key, err)
 				}
+				mu.Unlock()
 				return
 			}
+			mu.Lock()
 			results[j.key] = r
+			mu.Unlock()
 		}(j)
 	}
 	wg.Wait()

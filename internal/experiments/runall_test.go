@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testJobs(n int) []job {
+	jobs := make([]job, n)
+	for i := range jobs {
+		jobs[i] = job{key: string(rune('a' + i)), wl: "swim"}
+	}
+	return jobs
+}
+
+// TestRunAllWithStopsAfterFailure: with serial execution, a failing job
+// must prevent every not-yet-started job from running at all — the stop
+// flag is checked before the runner is invoked.
+func TestRunAllWithStopsAfterFailure(t *testing.T) {
+	o := Options{Parallel: 1}
+	var invocations atomic.Int64
+	boom := errors.New("boom")
+	res, err := o.runAllWith(testJobs(6), func(j job) (*sim.Result, error) {
+		invocations.Add(1)
+		return nil, boom
+	})
+	if res != nil {
+		t.Errorf("expected nil results after failure, got %d entries", len(res))
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected wrapped boom error, got %v", err)
+	}
+	if got := invocations.Load(); got != 1 {
+		t.Errorf("runner invoked %d times after first failure, want exactly 1", got)
+	}
+}
+
+// TestRunAllWithErrorNamesJob: the returned error identifies which job
+// failed.
+func TestRunAllWithErrorNamesJob(t *testing.T) {
+	o := Options{Parallel: 1}
+	boom := errors.New("no forward progress")
+	_, err := o.runAllWith(testJobs(1), func(j job) (*sim.Result, error) {
+		return nil, boom
+	})
+	if err == nil || !strings.Contains(err.Error(), "a:") {
+		t.Fatalf("error should name the failing job key, got %v", err)
+	}
+}
+
+// TestRunAllWithSuccess: every job runs once and every result is keyed.
+func TestRunAllWithSuccess(t *testing.T) {
+	o := Options{Parallel: 3}
+	var invocations atomic.Int64
+	jobs := testJobs(8)
+	res, err := o.runAllWith(jobs, func(j job) (*sim.Result, error) {
+		invocations.Add(1)
+		return &sim.Result{Workload: j.wl}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := invocations.Load(); got != int64(len(jobs)) {
+		t.Errorf("runner invoked %d times, want %d", got, len(jobs))
+	}
+	for _, j := range jobs {
+		if res[j.key] == nil {
+			t.Errorf("missing result for job %q", j.key)
+		}
+	}
+}

@@ -17,7 +17,6 @@ package fifoiq
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/iq"
 	"repro/internal/stats"
@@ -31,6 +30,9 @@ type Config struct {
 	FIFOs int
 	// Depth is the capacity of each FIFO.
 	Depth int
+	// StatsEvery samples the per-cycle head-readiness statistic every n
+	// cycles (0 or 1: every cycle). Scheduling is unaffected.
+	StatsEvery int
 }
 
 // DefaultConfig follows Palacharla et al.'s proportions: depth-8 FIFOs
@@ -51,11 +53,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// cand is an issue candidate: a ready FIFO head and its queue index.
+type cand struct {
+	fifo int
+	u    *uop.UOp
+}
+
 // FIFOIQ implements iq.Queue.
 type FIFOIQ struct {
 	cfg   Config
 	fifos [][]*uop.UOp
 	total int
+
+	// Reused per-cycle scratch: candidate heads and Issue's result (the
+	// returned slice is valid only until the next call).
+	candScratch []cand
+	outScratch  []*uop.UOp
 
 	stDispatched stats.Counter
 	stIssued     stats.Counter
@@ -99,6 +112,9 @@ func (q *FIFOIQ) ExtraDispatchStages() int { return 0 }
 // BeginCycle implements iq.Queue (statistics only; FIFOs have no internal
 // motion).
 func (q *FIFOIQ) BeginCycle(cycle int64) {
+	if every := int64(q.cfg.StatsEvery); every > 1 && cycle%every != 0 {
+		return
+	}
 	q.stOccupancy.Observe(float64(q.total))
 	ready := 0
 	for _, f := range q.fifos {
@@ -109,15 +125,27 @@ func (q *FIFOIQ) BeginCycle(cycle int64) {
 	q.stReadyHeads.Observe(float64(ready))
 }
 
+// sortCandsBySeq orders candidates by ascending sequence number with an
+// in-place insertion sort (at most one candidate per FIFO; no closure
+// allocation, unlike sort.Slice).
+func sortCandsBySeq(cs []cand) {
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && cs[j].u.Seq > c.u.Seq {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}
+
 // Issue implements iq.Queue: wakeup/select over the FIFO heads only,
 // oldest ready head first. Popping a head exposes the next instruction
-// for the following cycle.
+// for the following cycle. The returned slice is owned by the queue and
+// valid until the next call.
 func (q *FIFOIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
-	type cand struct {
-		fifo int
-		u    *uop.UOp
-	}
-	var cands []cand
+	cands := q.candScratch[:0]
 	for i, f := range q.fifos {
 		if len(f) == 0 {
 			continue
@@ -127,8 +155,9 @@ func (q *FIFOIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uo
 			cands = append(cands, cand{fifo: i, u: u})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].u.Seq < cands[j].u.Seq })
-	var out []*uop.UOp
+	q.candScratch = cands[:0]
+	sortCandsBySeq(cands)
+	out := q.outScratch[:0]
 	for _, c := range cands {
 		if len(out) >= max {
 			break
@@ -144,6 +173,7 @@ func (q *FIFOIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uo
 		q.total--
 		out = append(out, c.u)
 	}
+	q.outScratch = out
 	q.stIssued.Add(uint64(len(out)))
 	return out
 }

@@ -41,7 +41,9 @@ type Queue interface {
 	// them from the queue and returns them. tryIssue is consulted for
 	// each candidate; it returns false if no function unit can accept the
 	// instruction this cycle, and reserves the unit when it returns true,
-	// so the Queue must then issue that instruction.
+	// so the Queue must then issue that instruction. The returned slice
+	// may be backed by storage owned by the queue: it is valid only until
+	// the next Issue call, and callers must not retain it.
 	Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp
 
 	// Dispatch inserts a renamed instruction. It returns false — with no
@@ -76,9 +78,11 @@ type Queue interface {
 // IQ; at 32 entries it is the conventional baseline the segmented design
 // is compared against.
 type Conventional struct {
-	name     string
-	capacity int
-	entries  []*uop.UOp // in program order (dispatch order)
+	name       string
+	capacity   int
+	entries    []*uop.UOp // in program order (dispatch order)
+	outScratch []*uop.UOp // backs Issue's result; reused every cycle
+	statsEvery int64      // sample per-cycle stats every n cycles (<=1: every)
 
 	issued     stats.Counter
 	dispatched stats.Counter
@@ -91,6 +95,11 @@ type Conventional struct {
 func NewConventional(capacity int) *Conventional {
 	return &Conventional{name: "ideal", capacity: capacity}
 }
+
+// SetStatsSampling makes BeginCycle's full-queue readiness scan run only
+// every n cycles (<=1: every cycle). Scheduling is unaffected; only the
+// resolution of the occupancy/readiness averages changes.
+func (q *Conventional) SetStatsSampling(n int) { q.statsEvery = int64(n) }
 
 // Name implements Queue.
 func (q *Conventional) Name() string { return q.name }
@@ -107,6 +116,9 @@ func (q *Conventional) ExtraDispatchStages() int { return 0 }
 
 // BeginCycle implements Queue.
 func (q *Conventional) BeginCycle(cycle int64) {
+	if q.statsEvery > 1 && cycle%q.statsEvery != 0 {
+		return
+	}
 	q.occupancy.Observe(float64(len(q.entries)))
 	ready := 0
 	for _, u := range q.entries {
@@ -118,9 +130,10 @@ func (q *Conventional) BeginCycle(cycle int64) {
 }
 
 // Issue implements Queue: single-cycle wakeup and select over the whole
-// structure, oldest ready instructions first.
+// structure, oldest ready instructions first. The returned slice is owned
+// by the queue and valid until the next call.
 func (q *Conventional) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
-	var out []*uop.UOp
+	out := q.outScratch[:0]
 	kept := q.entries[:0]
 	for _, u := range q.entries {
 		if len(out) < max && u.DispatchCycle < cycle && u.IssueReady(cycle) && tryIssue(u) {
@@ -135,6 +148,7 @@ func (q *Conventional) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool)
 		q.entries[i] = nil
 	}
 	q.entries = kept
+	q.outScratch = out
 	q.issued.Add(uint64(len(out)))
 	return out
 }

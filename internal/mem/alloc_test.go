@@ -1,0 +1,52 @@
+package mem
+
+import "testing"
+
+// TestScheduleArgDoesNotAllocate pins the event queue's steady-state
+// behaviour: scheduling with a long-lived function and a pointer argument
+// allocates nothing once the heap slice has grown.
+func TestScheduleArgDoesNotAllocate(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	fn := func(now int64, arg any) { *arg.(*int)++ }
+	// Warm the heap slice.
+	for i := 0; i < 8; i++ {
+		q.ScheduleArg(int64(i), fn, &fired)
+	}
+	q.RunDue(8)
+	now := int64(9)
+	if avg := testing.AllocsPerRun(100, func() {
+		q.ScheduleArg(now, fn, &fired)
+		q.ScheduleArg(now+1, fn, &fired)
+		q.RunDue(now + 1)
+		now += 2
+	}); avg != 0 {
+		t.Errorf("ScheduleArg/RunDue allocates %.1f objects per round, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("events never fired")
+	}
+}
+
+// TestCacheHitPathDoesNotAllocate pins the pooled hit delivery: repeated
+// hits to a resident line through AccessArg must not allocate in steady
+// state.
+func TestCacheHitPathDoesNotAllocate(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchyConfig())
+	h.L1D.Warm(0x1000, false)
+	done := func(int64, Kind, any) {}
+	now := int64(0)
+	// Warm the event heap and hit pool.
+	for i := 0; i < 8; i++ {
+		h.L1D.AccessArg(now, 0x1000, false, done, nil)
+		now++
+		h.Tick(now + 4)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		h.L1D.AccessArg(now, 0x1000, false, done, nil)
+		now++
+		h.Tick(now + 4)
+	}); avg != 0 {
+		t.Errorf("hit path allocates %.1f objects per access, want 0", avg)
+	}
+}

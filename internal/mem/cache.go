@@ -106,7 +106,8 @@ type cacheLine struct {
 type mshrTarget struct {
 	write bool
 	kind  Kind
-	done  func(now int64, k Kind)
+	done  func(now int64, k Kind, arg any)
+	arg   any
 }
 
 type mshr struct {
@@ -115,6 +116,10 @@ type mshr struct {
 	// fromAbove marks targets that are line fetches for an upper cache and
 	// therefore need up-link bandwidth on delivery.
 	upDones []func(now int64)
+	// fillDone is built once per mshr structure (it survives recycling
+	// through the owning cache's freelist) and handed to the lower level as
+	// the fetch-completion callback, so a miss schedules no fresh closure.
+	fillDone func(now int64)
 }
 
 // Cache is one cache level. It is driven entirely through the shared
@@ -130,6 +135,17 @@ type Cache struct {
 	stamp     uint64
 
 	mshrs map[uint64]*mshr
+	// mshrPool recycles mshr structures (and their targets/upDones
+	// capacity) so steady-state misses allocate nothing.
+	mshrPool []*mshr
+	// fetchFn/deliverFn/hitFn are ScheduleArg trampolines bound once at
+	// construction; per-event method values would each allocate.
+	fetchFn   func(now int64, arg any)
+	deliverFn func(now int64, arg any)
+	hitFn     func(now int64, arg any)
+	// hitPool recycles the (done, arg) pairs carried by hit-delivery
+	// events.
+	hitPool []*mshrTarget
 	// pendingFetches queues upper-level line fetches that arrived while
 	// all MSHRs were busy; they start as MSHRs free.
 	pendingFetches []pendingFetch
@@ -165,8 +181,84 @@ func NewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) (*Cache, error) {
 	}
 	for c.lineShift = 0; 1<<c.lineShift != cfg.LineSize; c.lineShift++ {
 	}
+	c.fetchFn = c.startFetch
+	c.deliverFn = c.deliverTargets
+	c.hitFn = c.deliverHit
 	return c, nil
 }
+
+// allocMSHR takes an mshr from the freelist (or allocates the structure's
+// only heap objects, once) and registers it for lineAddr.
+func (c *Cache) allocMSHR(lineAddr uint64) *mshr {
+	var m *mshr
+	if n := len(c.mshrPool); n > 0 {
+		m = c.mshrPool[n-1]
+		c.mshrPool[n-1] = nil
+		c.mshrPool = c.mshrPool[:n-1]
+		m.lineAddr = lineAddr
+	} else {
+		m = &mshr{lineAddr: lineAddr}
+		m.fillDone = func(fillTime int64) { c.fill(fillTime, m.lineAddr) }
+	}
+	c.mshrs[lineAddr] = m
+	if len(c.mshrs) > c.mshrPeak {
+		c.mshrPeak = len(c.mshrs)
+	}
+	return m
+}
+
+// startFetch is the tag-lookup-latency event for a miss: the fetch leaves
+// for the lower level. arg is the owning *mshr.
+func (c *Cache) startFetch(t int64, arg any) {
+	m := arg.(*mshr)
+	c.lower.FetchLine(t, m.lineAddr, m.fillDone)
+}
+
+// deliverTargets completes every demand access merged into an mshr, then
+// recycles the structure. arg is the *mshr, already removed from the map.
+func (c *Cache) deliverTargets(now int64, arg any) {
+	m := arg.(*mshr)
+	for i := range m.targets {
+		t := &m.targets[i]
+		t.done(now, t.kind, t.arg)
+		t.done, t.arg = nil, nil
+	}
+	m.targets = m.targets[:0]
+	for i := range m.upDones {
+		m.upDones[i] = nil
+	}
+	m.upDones = m.upDones[:0]
+	c.mshrPool = append(c.mshrPool, m)
+}
+
+// deliverHit completes one hit access after the hit latency. arg is a
+// pooled *mshrTarget carrying the caller's callback.
+func (c *Cache) deliverHit(now int64, arg any) {
+	t := arg.(*mshrTarget)
+	done, darg := t.done, t.arg
+	t.done, t.arg = nil, nil
+	c.hitPool = append(c.hitPool, t)
+	done(now, KindHit, darg)
+}
+
+// scheduleHit books a hit delivery without allocating: the (done, arg)
+// pair rides in a recycled mshrTarget.
+func (c *Cache) scheduleHit(when int64, done func(now int64, k Kind, arg any), arg any) {
+	var t *mshrTarget
+	if n := len(c.hitPool); n > 0 {
+		t = c.hitPool[n-1]
+		c.hitPool[n-1] = nil
+		c.hitPool = c.hitPool[:n-1]
+	} else {
+		t = &mshrTarget{}
+	}
+	t.done, t.arg = done, arg
+	c.eq.ScheduleArg(when, c.hitFn, t)
+}
+
+// runPlainDone adapts Access's no-arg callback form to the arg-carrying
+// target form (a func value stored in an `any` does not heap-allocate).
+func runPlainDone(now int64, k Kind, arg any) { arg.(func(now int64, k Kind))(now, k) }
 
 // MustNewCache is NewCache for known-good configurations.
 func MustNewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) *Cache {
@@ -226,6 +318,13 @@ func (c *Cache) Probe(addr uint64) Kind {
 // effects, if the access could not be accepted because all MSHRs are busy;
 // the caller (the LSQ) retries on a later cycle.
 func (c *Cache) Access(now int64, addr uint64, write bool, done func(now int64, k Kind)) bool {
+	return c.AccessArg(now, addr, write, runPlainDone, done)
+}
+
+// AccessArg is Access with the callback split into a long-lived function
+// and a per-access argument, so a caller issuing many accesses (the LSQ)
+// need not allocate a closure per access.
+func (c *Cache) AccessArg(now int64, addr uint64, write bool, done func(now int64, k Kind, arg any), arg any) bool {
 	lineAddr := c.LineAddr(addr)
 	if ln := c.lookup(lineAddr); ln != nil {
 		c.stats.Accesses++
@@ -235,13 +334,13 @@ func (c *Cache) Access(now int64, addr uint64, write bool, done func(now int64, 
 		if write {
 			ln.dirty = true
 		}
-		c.eq.Schedule(now+int64(c.cfg.HitLatency), func(t int64) { done(t, KindHit) })
+		c.scheduleHit(now+int64(c.cfg.HitLatency), done, arg)
 		return true
 	}
 	if m, ok := c.mshrs[lineAddr]; ok {
 		c.stats.Accesses++
 		c.stats.DelayedHits++
-		m.targets = append(m.targets, mshrTarget{write: write, kind: KindDelayedHit, done: done})
+		m.targets = append(m.targets, mshrTarget{write: write, kind: KindDelayedHit, done: done, arg: arg})
 		return true
 	}
 	if len(c.mshrs) >= c.cfg.MSHRs {
@@ -250,16 +349,10 @@ func (c *Cache) Access(now int64, addr uint64, write bool, done func(now int64, 
 	}
 	c.stats.Accesses++
 	c.stats.Misses++
-	m := &mshr{lineAddr: lineAddr}
-	m.targets = append(m.targets, mshrTarget{write: write, kind: KindMiss, done: done})
-	c.mshrs[lineAddr] = m
-	if len(c.mshrs) > c.mshrPeak {
-		c.mshrPeak = len(c.mshrs)
-	}
+	m := c.allocMSHR(lineAddr)
+	m.targets = append(m.targets, mshrTarget{write: write, kind: KindMiss, done: done, arg: arg})
 	// The fetch leaves after the tag-lookup latency.
-	c.eq.Schedule(now+int64(c.cfg.HitLatency), func(t int64) {
-		c.lower.FetchLine(t, lineAddr, func(fillTime int64) { c.fill(fillTime, lineAddr) })
-	})
+	c.eq.ScheduleArg(now+int64(c.cfg.HitLatency), c.fetchFn, m)
 	return true
 }
 
@@ -290,15 +383,9 @@ func (c *Cache) FetchLine(now int64, lineAddr uint64, done func(now int64)) {
 	}
 	c.stats.Accesses++
 	c.stats.Misses++
-	m := &mshr{lineAddr: lineAddr}
+	m := c.allocMSHR(lineAddr)
 	m.upDones = append(m.upDones, done)
-	c.mshrs[lineAddr] = m
-	if len(c.mshrs) > c.mshrPeak {
-		c.mshrPeak = len(c.mshrs)
-	}
-	c.eq.Schedule(now+int64(c.cfg.HitLatency), func(t int64) {
-		c.lower.FetchLine(t, lineAddr, func(fillTime int64) { c.fill(fillTime, lineAddr) })
-	})
+	c.eq.ScheduleArg(now+int64(c.cfg.HitLatency), c.fetchFn, m)
 }
 
 // WritebackLine implements Supplier: absorb a dirty line from above. If
@@ -346,10 +433,10 @@ func (c *Cache) fill(now int64, lineAddr uint64) {
 	c.stamp++
 	set[victim] = cacheLine{valid: true, dirty: dirty, tag: tag, lru: c.stamp}
 
-	for _, t := range m.targets {
-		t := t
-		c.eq.Schedule(now, func(tm int64) { t.done(tm, t.kind) })
-	}
+	// One event delivers every merged demand target (same relative order as
+	// one event per target: nothing else is scheduled in between) and then
+	// recycles the mshr.
+	c.eq.ScheduleArg(now, c.deliverFn, m)
 	for _, done := range m.upDones {
 		deliver := c.reserveLink(now)
 		c.eq.Schedule(deliver, done)

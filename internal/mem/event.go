@@ -5,39 +5,92 @@
 // write-back/write-allocate policy.
 package mem
 
-import "container/heap"
-
 // EventQueue is a monotonic time-ordered callback queue. Events scheduled
-// for the same cycle run in scheduling order.
+// for the same cycle run in scheduling order. The heap is managed by hand
+// on a typed slice (container/heap would box every event through `any`,
+// which allocates on the simulator's hottest path).
 type EventQueue struct {
-	h   eventHeap
+	h   []event
 	seq uint64
 }
 
 type event struct {
-	when int64
-	seq  uint64
-	fn   func(now int64)
+	when  int64
+	seq   uint64
+	fn    func(now int64)
+	argFn func(now int64, arg any)
+	arg   any
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+func (q *EventQueue) less(i, j int) bool {
+	if q.h[i].when != q.h[j].when {
+		return q.h[i].when < q.h[j].when
 	}
-	return h[i].seq < h[j].seq
+	return q.h[i].seq < q.h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}
+
+func (q *EventQueue) push(e event) {
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
+}
+
+func (q *EventQueue) pop() event {
+	e := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = event{} // clear fn/arg so released values can be collected
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return e
+}
 
 // Schedule runs fn at the given cycle. Scheduling in the past is treated
 // as "now" by RunDue.
 func (q *EventQueue) Schedule(when int64, fn func(now int64)) {
 	q.seq++
-	heap.Push(&q.h, event{when: when, seq: q.seq, fn: fn})
+	q.push(event{when: when, seq: q.seq, fn: fn})
+}
+
+// ScheduleArg runs fn(now, arg) at the given cycle. Unlike Schedule with a
+// capturing closure, a long-lived fn plus a pointer-typed arg allocates
+// nothing: storing a pointer in an `any` does not heap-allocate, so callers
+// that would otherwise build a fresh closure per event (one per issued
+// instruction, per cache miss, ...) should prefer this form.
+func (q *EventQueue) ScheduleArg(when int64, fn func(now int64, arg any), arg any) {
+	q.seq++
+	q.push(event{when: when, seq: q.seq, argFn: fn, arg: arg})
 }
 
 // RunDue executes every event whose time is <= now, including events those
@@ -45,8 +98,12 @@ func (q *EventQueue) Schedule(when int64, fn func(now int64)) {
 func (q *EventQueue) RunDue(now int64) int {
 	n := 0
 	for len(q.h) > 0 && q.h[0].when <= now {
-		e := heap.Pop(&q.h).(event)
-		e.fn(now)
+		e := q.pop()
+		if e.fn != nil {
+			e.fn(now)
+		} else {
+			e.argFn(now, e.arg)
+		}
 		n++
 	}
 	return n

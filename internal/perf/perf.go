@@ -1,0 +1,184 @@
+// Package perf measures the simulator's own performance — wall-clock
+// time, allocation behaviour and simulation throughput of the hot paths —
+// and serialises the result as a reproducible JSON baseline (the
+// BENCH_*.json files at the repository root). The workloads are pinned:
+// the same configurations, seeds and instruction budgets every run, so
+// two baselines taken on the same machine differ only by the speed of the
+// code, not by what was simulated.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/uop"
+)
+
+// Schema identifies the BENCH json layout; bump it when fields change
+// meaning.
+const Schema = 1
+
+// Metrics reports one measured workload.
+type Metrics struct {
+	// Name identifies the pinned workload.
+	Name string `json:"name"`
+	// Iterations is the b.N testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp / BytesPerOp / AllocsPerOp are the standard Go benchmark
+	// numbers for one operation (one simulated cycle for the cycle-loop
+	// workloads, one full run for the machine workloads).
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// The machine workloads also report what they simulated: instructions
+	// and cycles per run, simulation speed in simulated million
+	// instructions per wall-clock second, wall nanoseconds per simulated
+	// cycle, and the simulated IPC (a correctness cross-check — it must
+	// not move between baselines).
+	SimInstructions int64   `json:"sim_instructions,omitempty"`
+	SimCycles       int64   `json:"sim_cycles,omitempty"`
+	SimMIPS         float64 `json:"sim_mips,omitempty"`
+	NsPerSimCycle   float64 `json:"ns_per_sim_cycle,omitempty"`
+	SimIPC          float64 `json:"sim_ipc,omitempty"`
+}
+
+// Baseline is a full performance capture.
+type Baseline struct {
+	Schema    int       `json:"schema"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	Workloads []Metrics `json:"workloads"`
+}
+
+// fromResult converts a testing.Benchmark result.
+func fromResult(name string, r testing.BenchmarkResult) Metrics {
+	return Metrics{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// segmentedCycleLoop is the steady-state cycle loop of a loaded 512-entry
+// segmented queue: BeginCycle + Issue + Writeback + refill dispatch +
+// EndCycle per operation. It mirrors BenchmarkSegmentedQueueCycle so the
+// checked-in baseline and `go test -bench` agree on what is measured.
+func segmentedCycleLoop(b *testing.B) {
+	b.ReportAllocs()
+	q := core.MustNew(core.DefaultConfig(512, 128))
+	var seq int64
+	for i := 0; i < 400; i++ {
+		in := isa.Inst{Class: isa.IntAlu, Src1: isa.RegNone, Src2: isa.RegNone, Dest: 1 + i%20}
+		u := uop.New(seq, in)
+		seq++
+		if !q.Dispatch(0, u) {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := int64(i + 1)
+		q.BeginCycle(c)
+		for _, u := range q.Issue(c, 8, func(*uop.UOp) bool { return true }) {
+			u.Complete = c + 1
+			q.Writeback(c+1, u)
+			nu := uop.New(seq, u.Inst)
+			seq++
+			q.Dispatch(c, nu)
+		}
+		q.EndCycle(c, true)
+	}
+}
+
+// machineWorkload builds the full-machine workload for one queue design:
+// the Table 1 processor run for a pinned instruction budget.
+func machineWorkload(cfg sim.Config, workload string, n, warm int64) (func(b *testing.B), *int64, *int64, *float64) {
+	var cycles, insts int64
+	var ipc float64
+	fn := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.RunWorkloadWarm(cfg, workload, 1, n, warm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles, insts, ipc = res.Cycles, res.Instructions, res.IPC
+		}
+	}
+	return fn, &cycles, &insts, &ipc
+}
+
+// Measure runs every pinned workload and returns the baseline. It takes a
+// few seconds per workload (testing.Benchmark's usual settling).
+func Measure() Baseline {
+	b := Baseline{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	b.Workloads = append(b.Workloads,
+		fromResult("segmented_queue_cycle_512", testing.Benchmark(segmentedCycleLoop)))
+
+	type machine struct {
+		name     string
+		cfg      sim.Config
+		workload string
+		n, warm  int64
+	}
+	machines := []machine{
+		{"table1_segmented_swim", sim.SegmentedConfig(512, 128, true, true), "swim", 10_000, 100_000},
+		{"table1_ideal_swim", sim.DefaultConfig(sim.QueueIdeal, 512), "swim", 10_000, 100_000},
+		{"table1_segmented_gcc", sim.SegmentedConfig(512, 128, true, true), "gcc", 10_000, 100_000},
+	}
+	for _, m := range machines {
+		fn, cycles, insts, ipc := machineWorkload(m.cfg, m.workload, m.n, m.warm)
+		r := testing.Benchmark(fn)
+		mt := fromResult(m.name, r)
+		mt.SimInstructions = *insts
+		mt.SimCycles = *cycles
+		mt.SimIPC = *ipc
+		if secs := r.T.Seconds(); secs > 0 {
+			mt.SimMIPS = float64(*insts) * float64(r.N) / secs / 1e6
+		}
+		if *cycles > 0 {
+			mt.NsPerSimCycle = mt.NsPerOp / float64(*cycles)
+		}
+		b.Workloads = append(b.Workloads, mt)
+	}
+	return b
+}
+
+// WriteJSON writes the baseline to path, indented, with a trailing
+// newline.
+func (b Baseline) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a baseline previously written by WriteJSON.
+func ReadJSON(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return b, nil
+}

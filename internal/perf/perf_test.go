@@ -1,0 +1,41 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineJSONRoundTrip(t *testing.T) {
+	b := Baseline{
+		Schema:    Schema,
+		GoVersion: "go0.0-test",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Workloads: []Metrics{
+			{Name: "cycle", Iterations: 100, NsPerOp: 123.4, BytesPerOp: 8, AllocsPerOp: 1},
+			{Name: "machine", Iterations: 3, NsPerOp: 9e6, SimInstructions: 10000,
+				SimCycles: 7000, SimMIPS: 1.2, NsPerSimCycle: 1285.7, SimIPC: 1.42},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := b.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != b.Schema || got.GoVersion != b.GoVersion || len(got.Workloads) != 2 {
+		t.Fatalf("round trip mangled baseline: %+v", got)
+	}
+	if got.Workloads[1] != b.Workloads[1] {
+		t.Errorf("workload metrics changed in round trip:\n got %+v\nwant %+v",
+			got.Workloads[1], b.Workloads[1])
+	}
+}
+
+func TestReadJSONMissingFile(t *testing.T) {
+	if _, err := ReadJSON(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -66,11 +66,17 @@ type FrontEnd struct {
 	btbMisses      uint64
 	icacheStallCyc uint64
 	branchStallCyc uint64
+
+	// lineDoneFn clears icacheWait when a line arrives; bound once so each
+	// new-line access schedules no fresh closure.
+	lineDoneFn func(t int64, k mem.Kind)
 }
 
 // NewFrontEnd builds a front end over the given trace.
 func NewFrontEnd(cfg FrontEndConfig, s trace.Stream, bp *bpred.Predictor, btb *bpred.BTB, icache *mem.Cache) *FrontEnd {
-	return &FrontEnd{cfg: cfg, stream: s, bp: bp, btb: btb, icache: icache}
+	f := &FrontEnd{cfg: cfg, stream: s, bp: bp, btb: btb, icache: icache}
+	f.lineDoneFn = func(int64, mem.Kind) { f.icacheWait = false }
+	return f
 }
 
 // Depth returns the total front-end latency in cycles.
@@ -131,9 +137,7 @@ func (f *FrontEnd) Fetch(cycle int64) {
 		stallForLine := false
 		if newLine {
 			kind := f.icache.Probe(in.PC)
-			if f.icache.Access(cycle, in.PC, false, func(int64, mem.Kind) {
-				f.icacheWait = false
-			}) {
+			if f.icache.Access(cycle, in.PC, false, f.lineDoneFn) {
 				f.currentLine = line
 				f.haveLine = true
 				if kind != mem.KindHit {

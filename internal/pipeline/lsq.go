@@ -30,6 +30,12 @@ type LSQ struct {
 	// notifications).
 	OnLoadDone func(cycle int64, u *uop.UOp)
 
+	// Per-load callbacks, bound once at construction; Tick passes them with
+	// the load as the argument instead of building a closure per access.
+	loadDoneFn  func(t int64, k mem.Kind, arg any)
+	fwdDoneFn   func(t int64, arg any)
+	missNotifFn func(t int64, arg any)
+
 	forwards       uint64
 	mshrRejects    uint64
 	loadsIssued    uint64
@@ -44,7 +50,7 @@ type memWrite struct {
 
 // NewLSQ builds a load/store queue of the given capacity over l1d.
 func NewLSQ(capacity int, l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, rdPorts, wrPorts int) *LSQ {
-	return &LSQ{
+	l := &LSQ{
 		capacity:      capacity,
 		l1d:           l1d,
 		eq:            eq,
@@ -53,6 +59,15 @@ func NewLSQ(capacity int, l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, rdPort
 		wrPorts:       wrPorts,
 		missDetectLat: int64(l1d.Config().HitLatency),
 	}
+	l.loadDoneFn = func(t int64, k mem.Kind, arg any) {
+		u := arg.(*uop.UOp)
+		u.Complete = t
+		u.MemKind = int8(k)
+		l.finishLoad(t, u)
+	}
+	l.fwdDoneFn = func(t int64, arg any) { l.finishLoad(t, arg.(*uop.UOp)) }
+	l.missNotifFn = func(t int64, arg any) { l.q.NotifyLoadMiss(t, arg.(*uop.UOp)) }
+	return l
 }
 
 // Full reports whether another memory instruction can be accepted.
@@ -157,20 +172,14 @@ func (l *LSQ) Tick(cycle int64) {
 			l.forwards++
 			u.MemKind = uop.MemHit
 			u.Complete = cycle + 1
-			cu := u
-			l.eq.Schedule(cycle+1, func(t int64) { l.finishLoad(t, cu) })
+			l.eq.ScheduleArg(cycle+1, l.fwdDoneFn, u)
 			continue
 		}
 		if rd >= l.rdPorts {
 			continue
 		}
 		kind := l.l1d.Probe(u.Inst.Addr)
-		cu := u
-		if !l.l1d.Access(cycle, u.Inst.Addr, false, func(t int64, k mem.Kind) {
-			cu.Complete = t
-			cu.MemKind = int8(k)
-			l.finishLoad(t, cu)
-		}) {
+		if !l.l1d.AccessArg(cycle, u.Inst.Addr, false, l.loadDoneFn, u) {
 			l.mshrRejects++
 			continue
 		}
@@ -180,7 +189,7 @@ func (l *LSQ) Tick(cycle int64) {
 		if kind != mem.KindHit {
 			// The miss is detected after the tag lookup: suspend the
 			// load's chain (§3.4).
-			l.eq.Schedule(cycle+l.missDetectLat, func(t int64) { l.q.NotifyLoadMiss(t, cu) })
+			l.eq.ScheduleArg(cycle+l.missDetectLat, l.missNotifFn, u)
 		}
 	}
 }

@@ -35,6 +35,9 @@ type Config struct {
 	// Threads is the number of hardware contexts sharing the queue; the
 	// availability table is replicated per context. 0 means 1.
 	Threads int
+	// StatsEvery samples the per-cycle buffer-readiness statistics every
+	// n cycles (0 or 1: every cycle). Scheduling is unaffected.
+	StatsEvery int
 }
 
 // DefaultConfig returns the configuration the paper simulates for a given
@@ -73,6 +76,8 @@ type PreschedIQ struct {
 	buf   []*uop.UOp   // issue buffer
 	bufAt []int64      // cycle each buffer entry arrived (parallel to buf)
 	total int
+
+	outScratch []*uop.UOp // backs Issue's result; reused every cycle
 
 	avail []availEntry // threads * NumRegs
 
@@ -162,16 +167,19 @@ func (q *PreschedIQ) BeginCycle(cycle int64) {
 		}
 	}
 
-	// Statistics.
-	q.stBufOcc.Observe(float64(len(q.buf)))
-	unready := 0
-	for _, u := range q.buf {
-		if !u.Ready(cycle) {
-			unready++
+	// Statistics (gated behind the sampling knob: the unreadiness scan
+	// walks the whole issue buffer).
+	if every := int64(q.cfg.StatsEvery); every <= 1 || cycle%every == 0 {
+		q.stBufOcc.Observe(float64(len(q.buf)))
+		unready := 0
+		for _, u := range q.buf {
+			if !u.Ready(cycle) {
+				unready++
+			}
 		}
+		q.stBufUnready.Observe(float64(unready))
+		q.stArrayOcc.Observe(float64(q.total - len(q.buf)))
 	}
-	q.stBufUnready.Observe(float64(unready))
-	q.stArrayOcc.Observe(float64(q.total - len(q.buf)))
 }
 
 // recycleCampers removes up to need unready instructions from the issue
@@ -262,9 +270,10 @@ func (q *PreschedIQ) recycleCampers(cycle int64, need int) {
 }
 
 // Issue implements iq.Queue: conventional wakeup/select over the issue
-// buffer only.
+// buffer only. The returned slice is owned by the queue and valid until
+// the next call.
 func (q *PreschedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
-	var out []*uop.UOp
+	out := q.outScratch[:0]
 	kept := q.buf[:0]
 	keptAt := q.bufAt[:0]
 	for i, u := range q.buf {
@@ -282,6 +291,7 @@ func (q *PreschedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) [
 	q.buf = kept
 	q.bufAt = keptAt
 	q.total -= len(out)
+	q.outScratch = out
 	q.stIssued.Add(uint64(len(out)))
 	return out
 }

@@ -40,6 +40,14 @@ type Processor struct {
 	committed int64
 	inExec    int // issued instructions whose results are outstanding
 
+	// Per-cycle and per-instruction callbacks, bound once at construction
+	// so the cycle loop schedules no fresh closures. tryIssueFn reads
+	// p.cycle, which equals the cycle being stepped throughout Step.
+	commitFn   func(*uop.UOp)
+	tryIssueFn func(*uop.UOp) bool
+	execDoneFn func(now int64, arg any) // EA done for loads: leave execution
+	wbDoneFn   func(now int64, arg any) // completion: leave execution + writeback
+
 	// Per-run statistics.
 	stIssued       stats.Counter
 	stCommitted    stats.Counter
@@ -90,6 +98,22 @@ func New(cfg Config, stream trace.Stream) (*Processor, error) {
 		workload: stream.Name(),
 	}
 	p.lsq = pipeline.NewLSQ(cfg.LSQSize, hier.L1D, hier.EQ, q, cfg.CacheRdPorts, cfg.CacheWrPorts)
+	p.commitFn = func(u *uop.UOp) {
+		p.committed++
+		p.stCommitted.Inc()
+		switch {
+		case u.IsStore():
+			p.lsq.CommitStore(u)
+		case u.IsLoad():
+			p.lsq.Remove(u)
+		}
+	}
+	p.tryIssueFn = func(u *uop.UOp) bool { return p.fus.TryIssue(p.cycle, u) }
+	p.execDoneFn = func(now int64, arg any) { p.inExec-- }
+	p.wbDoneFn = func(now int64, arg any) {
+		p.inExec--
+		p.q.Writeback(now, arg.(*uop.UOp))
+	}
 	return p, nil
 }
 
@@ -120,16 +144,7 @@ func (p *Processor) Step() {
 	p.hier.Tick(c)
 
 	// 2. Commit, in order, up to the commit width.
-	commits := p.rob.Commit(c, p.cfg.CommitWidth, func(u *uop.UOp) {
-		p.committed++
-		p.stCommitted.Inc()
-		switch {
-		case u.IsStore():
-			p.lsq.CommitStore(u)
-		case u.IsLoad():
-			p.lsq.Remove(u)
-		}
-	})
+	commits := p.rob.Commit(c, p.cfg.CommitWidth, p.commitFn)
 
 	// 3. Scheduler-internal work: wire propagation, promotion, pushdown,
 	//    deadlock recovery, or array advance.
@@ -157,14 +172,11 @@ func (p *Processor) Step() {
 }
 
 func (p *Processor) issue(c int64) {
-	issued := p.q.Issue(c, p.cfg.IssueWidth, func(u *uop.UOp) bool {
-		return p.fus.TryIssue(c, u)
-	})
+	issued := p.q.Issue(c, p.cfg.IssueWidth, p.tryIssueFn)
 	p.stIssued.Add(uint64(len(issued)))
 	for _, u := range issued {
 		lat := int64(u.Latency())
 		p.inExec++
-		cu := u
 		switch {
 		case u.IsLoad():
 			// The EA calculation finishes after one cycle; the LSQ takes
@@ -173,22 +185,16 @@ func (p *Processor) issue(c int64) {
 			// would mask the deadlocks §4.5 recovers from. Its memory
 			// traffic keeps the machine active through the event queue.
 			u.EADone = c + lat
-			p.hier.EQ.Schedule(u.EADone, func(t int64) { p.inExec-- })
+			p.hier.EQ.ScheduleArg(u.EADone, p.execDoneFn, nil)
 		case u.IsStore():
 			// Retirement (Complete) is set by the LSQ once the data is
 			// also ready; the chain writeback happens at EA completion
 			// (stores produce no register value).
 			u.EADone = c + lat
-			p.hier.EQ.Schedule(u.EADone, func(t int64) {
-				p.inExec--
-				p.q.Writeback(t, cu)
-			})
+			p.hier.EQ.ScheduleArg(u.EADone, p.wbDoneFn, u)
 		default:
 			u.Complete = c + lat
-			p.hier.EQ.Schedule(u.Complete, func(t int64) {
-				p.inExec--
-				p.q.Writeback(t, cu)
-			})
+			p.hier.EQ.ScheduleArg(u.Complete, p.wbDoneFn, u)
 		}
 	}
 }

@@ -38,6 +38,12 @@ type SMTProcessor struct {
 	inExec int
 	seq    int64
 
+	// Bound once at construction: the issue loop's callbacks (see
+	// Processor). tryIssueFn reads p.cycle, valid throughout Step.
+	tryIssueFn func(*uop.UOp) bool
+	execDoneFn func(now int64, arg any)
+	wbDoneFn   func(now int64, arg any)
+
 	stIssued stats.Counter
 }
 
@@ -50,6 +56,9 @@ type smtThread struct {
 
 	workload  string
 	committed int64
+
+	// commitFn is the ROB commit callback, bound once per thread.
+	commitFn func(*uop.UOp)
 }
 
 // NewSMT builds an SMT machine over the given workload streams (one per
@@ -130,7 +139,22 @@ func NewSMT(cfg Config, streams []trace.Stream) (*SMTProcessor, error) {
 			workload: s.Name(),
 		}
 		th.lsq = pipeline.NewLSQ(lsqEach, hier.L1D, hier.EQ, q, cfg.CacheRdPorts, cfg.CacheWrPorts)
+		th.commitFn = func(u *uop.UOp) {
+			th.committed++
+			switch {
+			case u.IsStore():
+				th.lsq.CommitStore(u)
+			case u.IsLoad():
+				th.lsq.Remove(u)
+			}
+		}
 		p.threads = append(p.threads, th)
+	}
+	p.tryIssueFn = func(u *uop.UOp) bool { return p.fus.TryIssue(p.cycle, u) }
+	p.execDoneFn = func(now int64, arg any) { p.inExec-- }
+	p.wbDoneFn = func(now int64, arg any) {
+		p.inExec--
+		p.q.Writeback(now, arg.(*uop.UOp))
 	}
 	// Thread-tag every fetched instruction by wrapping... fetch assigns
 	// sequence numbers per front end; retag at dispatch instead.
@@ -172,15 +196,7 @@ func (p *SMTProcessor) Step() {
 	width := p.cfg.CommitWidth
 	for i := 0; i < n && width > 0; i++ {
 		th := p.threads[(int(c)+i)%n]
-		done := th.rob.Commit(c, width, func(u *uop.UOp) {
-			th.committed++
-			switch {
-			case u.IsStore():
-				th.lsq.CommitStore(u)
-			case u.IsLoad():
-				th.lsq.Remove(u)
-			}
-		})
+		done := th.rob.Commit(c, width, th.commitFn)
 		commits += done
 		width -= done
 	}
@@ -212,30 +228,21 @@ func (p *SMTProcessor) Step() {
 }
 
 func (p *SMTProcessor) issue(c int64) {
-	issued := p.q.Issue(c, p.cfg.IssueWidth, func(u *uop.UOp) bool {
-		return p.fus.TryIssue(c, u)
-	})
+	issued := p.q.Issue(c, p.cfg.IssueWidth, p.tryIssueFn)
 	p.stIssued.Add(uint64(len(issued)))
 	for _, u := range issued {
 		lat := int64(u.Latency())
 		p.inExec++
-		cu := u
 		switch {
 		case u.IsLoad():
 			u.EADone = c + lat
-			p.hier.EQ.Schedule(u.EADone, func(t int64) { p.inExec-- })
+			p.hier.EQ.ScheduleArg(u.EADone, p.execDoneFn, nil)
 		case u.IsStore():
 			u.EADone = c + lat
-			p.hier.EQ.Schedule(u.EADone, func(t int64) {
-				p.inExec--
-				p.q.Writeback(t, cu)
-			})
+			p.hier.EQ.ScheduleArg(u.EADone, p.wbDoneFn, u)
 		default:
 			u.Complete = c + lat
-			p.hier.EQ.Schedule(u.Complete, func(t int64) {
-				p.inExec--
-				p.q.Writeback(t, cu)
-			})
+			p.hier.EQ.ScheduleArg(u.Complete, p.wbDoneFn, u)
 		}
 	}
 }

@@ -171,8 +171,9 @@ func Ratio(num, den uint64) float64 {
 // Set is a named collection of scalar statistics gathered from a run,
 // rendered by the experiment harness. Insertion order is preserved.
 type Set struct {
-	names  []string
-	values map[string]float64
+	names    []string
+	values   map[string]float64
+	warnings []string
 }
 
 // NewSet creates an empty statistics set.
@@ -195,14 +196,27 @@ func (s *Set) Get(name string) (float64, bool) {
 	return v, ok
 }
 
-// MustGet returns the value under name, panicking if absent. It is used by
-// the harness for statistics that the simulator always produces.
+// MustGet returns the value under name. It is used by the harness for
+// statistics that the simulator always produces; if the name is absent —
+// typically a queue design that does not emit some design-specific
+// counter — it returns zero and records a warning rather than panicking,
+// so one missing counter cannot take down a whole experiment batch.
+// Warnings() exposes what was missed.
 func (s *Set) MustGet(name string) float64 {
 	v, ok := s.values[name]
 	if !ok {
-		panic(fmt.Sprintf("stats: missing %q", name))
+		s.warnings = append(s.warnings, fmt.Sprintf("stats: missing %q (reported as 0)", name))
+		return 0
 	}
 	return v
+}
+
+// Warnings returns the messages recorded for statistics that were
+// requested via MustGet but never stored.
+func (s *Set) Warnings() []string {
+	out := make([]string, len(s.warnings))
+	copy(out, s.warnings)
+	return out
 }
 
 // Names returns the stat names in insertion order.

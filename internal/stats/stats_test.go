@@ -139,14 +139,21 @@ func TestSet(t *testing.T) {
 	if !strings.Contains(out, "ipc") || !strings.Contains(out, "1000") {
 		t.Errorf("render: %q", out)
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("MustGet of missing stat should panic")
-			}
-		}()
-		s.MustGet("nope")
-	}()
+	// MustGet of a missing stat returns zero and records a warning rather
+	// than panicking: a design that lacks one counter must not abort a
+	// whole experiment batch.
+	if v := s.MustGet("nope"); v != 0 {
+		t.Errorf("MustGet of missing stat = %v, want 0", v)
+	}
+	warns := s.Warnings()
+	if len(warns) != 1 || !strings.Contains(warns[0], "nope") {
+		t.Errorf("expected one warning naming the missing stat, got %v", warns)
+	}
+	// Present stats never warn.
+	s.MustGet("cycles")
+	if len(s.Warnings()) != 1 {
+		t.Errorf("MustGet of present stat must not add warnings: %v", s.Warnings())
+	}
 }
 
 func TestTable(t *testing.T) {
