@@ -10,7 +10,8 @@
 //	iqbench -experiment fig2
 //	iqbench -experiment fig3 -n 100000 -warm 500000
 //	iqbench -experiment table2 -benchmarks swim,equake
-//	iqbench -perf-json BENCH_1.json # simulator performance baseline
+//	iqbench -perf-json BENCH_2.json # simulator performance baseline
+//	iqbench -perf-compare BENCH_2.json # fresh capture vs checked-in baseline
 package main
 
 import (
@@ -26,23 +27,21 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, or all")
-		n        = flag.Int64("n", 0, "measured instructions per run (0 = default)")
-		warm     = flag.Int64("warm", 0, "warm-up instructions per run (0 = default)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
-		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		perfJSON = flag.String("perf-json", "", "measure simulator performance (pinned workloads) and write a BENCH json baseline to this path, instead of running experiments")
+		exp         = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, or all")
+		n           = flag.Int64("n", 0, "measured instructions per run (0 = default)")
+		warm        = flag.Int64("warm", 0, "warm-up instructions per run (0 = default)")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		benches     = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		par         = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		perfJSON    = flag.String("perf-json", "", "measure simulator performance (pinned workloads) and write a BENCH json baseline to this path, instead of running experiments")
+		perfCompare = flag.String("perf-compare", "", "measure simulator performance and compare against the BENCH json baseline at this path (warn-only), instead of running experiments")
+		perfThresh  = flag.Float64("perf-threshold", 0.5, "tolerated fractional slowdown for -perf-compare (0.5 = 50%)")
 	)
 	flag.Parse()
 
-	if *perfJSON != "" {
+	if *perfJSON != "" || *perfCompare != "" {
 		start := time.Now()
 		b := perf.Measure()
-		if err := b.WriteJSON(*perfJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "iqbench: %v\n", err)
-			os.Exit(1)
-		}
 		for _, w := range b.Workloads {
 			fmt.Printf("%-28s %12.0f ns/op %8d B/op %6d allocs/op", w.Name, w.NsPerOp, w.BytesPerOp, w.AllocsPerOp)
 			if w.SimMIPS > 0 {
@@ -50,7 +49,28 @@ func main() {
 			}
 			fmt.Println()
 		}
-		fmt.Printf("[perf baseline written to %s in %.1fs]\n", *perfJSON, time.Since(start).Seconds())
+		if *perfJSON != "" {
+			if err := b.WriteJSON(*perfJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "iqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[perf baseline written to %s in %.1fs]\n", *perfJSON, time.Since(start).Seconds())
+		}
+		if *perfCompare != "" {
+			base, err := perf.ReadJSON(*perfCompare)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqbench: %v\n", err)
+				os.Exit(1)
+			}
+			warnings := perf.Compare(base, b, *perfThresh)
+			if len(warnings) == 0 {
+				fmt.Printf("[no perf regressions vs %s (threshold %.0f%%), %.1fs]\n",
+					*perfCompare, 100**perfThresh, time.Since(start).Seconds())
+			}
+			for _, w := range warnings {
+				fmt.Printf("WARNING: %s\n", w)
+			}
+		}
 		return
 	}
 

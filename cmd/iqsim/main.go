@@ -3,9 +3,15 @@
 //
 // Examples:
 //
+// A comma-separated -workload list runs every workload simultaneously on
+// one SMT machine and reports per-thread commit counts.
+//
+// Examples:
+//
 //	iqsim -queue segmented -size 512 -chains 128 -hmp -lrp -workload swim
 //	iqsim -queue ideal -size 32 -workload gcc -n 200000
 //	iqsim -queue prescheduled -size 704 -workload equake
+//	iqsim -queue segmented -workload swim,gcc   # 2-thread SMT run
 //	iqsim -printconfig          # dump the Table 1 machine parameters
 package main
 
@@ -25,7 +31,7 @@ func main() {
 		chains   = flag.Int("chains", 128, "chain wires for the segmented design (0 = unlimited)")
 		hmp      = flag.Bool("hmp", false, "enable the load hit/miss predictor (segmented)")
 		lrp      = flag.Bool("lrp", false, "enable the left/right operand predictor (segmented)")
-		workload = flag.String("workload", "swim", "workload: "+strings.Join(iqsim.Workloads(), ", "))
+		workload = flag.String("workload", "swim", "workload, or comma-separated list for an SMT run: "+strings.Join(iqsim.Workloads(), ", "))
 		n        = flag.Int64("n", 100_000, "instructions to simulate")
 		warm     = flag.Int64("warm", 300_000, "instructions to fast-forward (cache/predictor warm-up)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
@@ -59,6 +65,23 @@ func main() {
 
 	if *printCfg {
 		printConfig(cfg)
+		return
+	}
+
+	if workloads := strings.Split(*workload, ","); len(workloads) > 1 {
+		res, err := iqsim.RunSMT(cfg, workloads, *seed, *n, *warm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iqsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s SMT x%d: IPC %.4f (%d instructions, %d cycles)\n",
+			cfg.Queue, len(workloads), res.IPC, res.Instructions, res.Cycles)
+		for i, wl := range res.Workloads {
+			fmt.Printf("  thread %d %-12s %8d committed\n", i, wl, res.PerThread[i])
+		}
+		if *verbose {
+			fmt.Print(res.Stats.String())
+		}
 		return
 	}
 

@@ -1,0 +1,50 @@
+package bpred
+
+// The predictors are plain table state (saturating counters, histories,
+// LRU stamps), so cloning is a deep copy of the slices plus a struct copy
+// for the scalars. Clones share nothing mutable with their receiver; a
+// warmed predictor can therefore be cloned once per forked machine.
+
+// Clone returns an independent copy of the direction predictor.
+func (p *Predictor) Clone() *Predictor {
+	n := new(Predictor)
+	*n = *p
+	n.globalPHT = append([]SatCounter(nil), p.globalPHT...)
+	n.localHist = append([]uint32(nil), p.localHist...)
+	n.localPHT = append([]SatCounter(nil), p.localPHT...)
+	n.choicePHT = append([]SatCounter(nil), p.choicePHT...)
+	return n
+}
+
+// Clone returns an independent copy of the branch target buffer.
+func (b *BTB) Clone() *BTB {
+	n := new(BTB)
+	*n = *b
+	n.lines = append([]btbEntry(nil), b.lines...)
+	return n
+}
+
+// Clone returns an independent copy of the hit/miss predictor. Cloning a
+// nil receiver yields nil, so callers need not special-case disabled
+// predictors.
+func (h *HitMissPredictor) Clone() *HitMissPredictor {
+	if h == nil {
+		return nil
+	}
+	n := new(HitMissPredictor)
+	*n = *h
+	n.table = append([]SatCounter(nil), h.table...)
+	return n
+}
+
+// Clone returns an independent copy of the left/right predictor, or nil
+// for a nil receiver.
+func (l *LeftRightPredictor) Clone() *LeftRightPredictor {
+	if l == nil {
+		return nil
+	}
+	n := new(LeftRightPredictor)
+	*n = *l
+	n.table = append([]SatCounter(nil), l.table...)
+	return n
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/iq"
+	"repro/internal/stats"
+	"repro/internal/uop"
+)
+
+// clone returns an independent copy of the chain pool, preserving the
+// free list order and per-wire generations so a cloned machine allocates
+// the same wires in the same order as the original.
+func (p *chainPool) clone() *chainPool {
+	n := new(chainPool)
+	*n = *p
+	n.free = append([]int(nil), p.free...)
+	n.gens = append([]uint32(nil), p.gens...)
+	return n
+}
+
+// clone returns an independent copy of the wire pipeline, including any
+// signals currently in flight between segments.
+func (w *wirePipe) clone() *wirePipe {
+	n := &wirePipe{nSegs: w.nSegs, cur: make([][]signal, len(w.cur))}
+	for i, s := range w.cur {
+		if s == nil {
+			continue
+		}
+		ns := make([]signal, len(s))
+		copy(ns, s)
+		n.cur[i] = ns
+	}
+	return n
+}
+
+// clone returns an independent copy of the register information table with
+// producer pointers remapped through m.
+func (t regTable) clone(m *uop.CloneMap) regTable {
+	n := make(regTable, len(t))
+	copy(n, t)
+	for i := range n {
+		n[i].producer = m.Get(n[i].producer)
+	}
+	return n
+}
+
+// CloneIQ implements uop.IQState: the entry rides along whenever its
+// instruction is remapped through a clone map. This covers issued-but-
+// not-written-back instructions too — their entries have already left
+// the segments but still carry the chain memberships that writeback
+// releases.
+func (e *entry) CloneIQ(clone *uop.UOp) any {
+	ne := new(entry)
+	*ne = *e
+	ne.u = clone
+	return ne
+}
+
+// Clone implements iq.Queue: a deep copy of the segments, chain pool,
+// wire pipeline, register table and predictors, with every held
+// instruction remapped through m. Each resident entry's clone is the one
+// CloneIQ attached to the remapped instruction, so segments and uops
+// agree on entry identity. Scratch buffers and the entry freelist are not
+// carried over.
+func (q *SegmentedIQ) Clone(m *uop.CloneMap) iq.Queue {
+	n := new(SegmentedIQ)
+	*n = *q
+	n.readyScratch = nil
+	n.candScratch = nil
+	n.outScratch = nil
+	n.entryPool = nil
+	n.segs = make([][]*entry, len(q.segs))
+	for k, seg := range q.segs {
+		if seg == nil {
+			continue
+		}
+		ns := make([]*entry, len(seg))
+		for i, e := range seg {
+			ns[i] = m.Get(e.u).IQ.(*entry)
+		}
+		n.segs[k] = ns
+	}
+	n.chains = q.chains.clone()
+	n.wires = q.wires.clone()
+	n.table = q.table.clone(m)
+	n.hmp = q.hmp.Clone()
+	n.lrp = q.lrp.Clone()
+	n.prevFree = append([]int(nil), q.prevFree...)
+	n.stSegOcc = append([]stats.Mean(nil), q.stSegOcc...)
+	return n
+}

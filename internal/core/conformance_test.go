@@ -45,3 +45,24 @@ func TestConformanceFuzz(t *testing.T) {
 		})
 	}
 }
+
+// Mid-run clones of the segmented queue — resident entries, allocated
+// chains, in-flight wire signals — must behave identically to the
+// original from the clone point on.
+func TestCloneFuzz(t *testing.T) {
+	cfgs := map[string]core.Config{
+		"default-unlimited": core.DefaultConfig(128, 0),
+		"tight-chains":      core.DefaultConfig(128, 8),
+		"predictors": func() core.Config {
+			c := core.DefaultConfig(128, 32)
+			c.UseHMP, c.UseLRP = true, true
+			return c
+		}(),
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			iqtest.CloneFuzz(t, func() iq.Queue { return core.MustNew(cfg) }, iqtest.DefaultOptions())
+		})
+	}
+}

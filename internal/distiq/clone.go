@@ -1,0 +1,35 @@
+package distiq
+
+import (
+	"repro/internal/iq"
+	"repro/internal/uop"
+)
+
+// Clone implements iq.Queue: a deep copy of the scheduling array, wait
+// buffer and availability table with every held instruction remapped
+// through m. Scratch storage is not carried over.
+func (q *DistIQ) Clone(m *uop.CloneMap) iq.Queue {
+	n := new(DistIQ)
+	*n = *q
+	n.outScratch = nil
+	n.lines = make([][]*uop.UOp, len(q.lines))
+	for r, row := range q.lines {
+		if row == nil {
+			continue
+		}
+		nr := make([]*uop.UOp, len(row))
+		for i, u := range row {
+			nr[i] = m.Get(u)
+		}
+		n.lines[r] = nr
+	}
+	n.wait = make([]*uop.UOp, len(q.wait))
+	for i, u := range q.wait {
+		n.wait[i] = m.Get(u)
+	}
+	n.avail = append([]availEntry(nil), q.avail...)
+	for i := range n.avail {
+		n.avail[i].producer = m.Get(n.avail[i].producer)
+	}
+	return n
+}

@@ -10,9 +10,12 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bpred"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -53,6 +56,18 @@ func (o Options) parallel() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// validateBenchmarks rejects unknown workload names up front, before any
+// simulation (or warmup) is spent on a doomed batch.
+func (o Options) validateBenchmarks() error {
+	for _, w := range o.Benchmarks {
+		if _, ok := trace.Benchmarks[w]; !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q (have %s)",
+				w, strings.Join(trace.Names(), ", "))
+		}
+	}
+	return nil
+}
+
 // job is one simulation in a batch.
 type job struct {
 	key string
@@ -60,11 +75,70 @@ type job struct {
 	wl  string
 }
 
+// ckKey identifies the warmed state a job can fork from: the workload
+// plus everything the warmup touches — memory and branch-structure
+// geometry. Grid points that only vary the queue design, queue size,
+// widths or ROB/LSQ capacities share one checkpoint.
+type ckKey struct {
+	wl   string
+	mem  mem.HierarchyConfig
+	bp   bpred.Config
+	btbE int
+	btbW int
+}
+
+// ckCache lazily builds one checkpoint per ckKey. The first job to need a
+// key pays the warmup (inside its worker slot, so distinct workloads warm
+// in parallel); every later job forks the finished checkpoint.
+type ckCache struct {
+	o  Options
+	mu sync.Mutex
+	m  map[ckKey]*ckEntry
+}
+
+type ckEntry struct {
+	once sync.Once
+	ck   *sim.Checkpoint
+	err  error
+}
+
+func (c *ckCache) get(j job) (*sim.Checkpoint, error) {
+	key := ckKey{wl: j.wl, mem: j.cfg.Memory, bp: j.cfg.BranchPredictor,
+		btbE: j.cfg.BTBEntries, btbW: j.cfg.BTBWays}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = new(ckEntry)
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.ck, e.err = sim.NewCheckpoint(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
+	})
+	return e.ck, e.err
+}
+
 // runAll executes jobs concurrently and returns results keyed by job key.
-// Any simulation error aborts the batch.
+// Any simulation error aborts the batch. The warmup fast-forward runs
+// once per workload (per memory/branch geometry); each grid point then
+// forks the warmed checkpoint instead of re-warming, which is where the
+// sweep's wall-clock win comes from — forked runs are bit-identical to
+// cold ones (see sim's checkpoint tests).
 func (o Options) runAll(jobs []job) (map[string]*sim.Result, error) {
+	if err := o.validateBenchmarks(); err != nil {
+		return nil, err
+	}
+	cks := &ckCache{o: o, m: make(map[ckKey]*ckEntry)}
 	return o.runAllWith(jobs, func(j job) (*sim.Result, error) {
-		return sim.RunWorkloadWarm(j.cfg, j.wl, o.Seed, o.Instructions, o.Warmup)
+		ck, err := cks.get(j)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ck.Fork(j.cfg)
+		if err != nil {
+			return nil, err
+		}
+		return p.Run(o.Instructions)
 	})
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -49,6 +50,46 @@ func TestRunAllWithErrorNamesJob(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "a:") {
 		t.Fatalf("error should name the failing job key, got %v", err)
+	}
+}
+
+// TestRunAllValidatesBenchmarks: an unknown workload name fails fast with
+// a clear error, before any simulation or warmup runs.
+func TestRunAllValidatesBenchmarks(t *testing.T) {
+	o := DefaultOptions()
+	o.Benchmarks = []string{"swim", "nope"}
+	_, err := o.runAll([]job{{key: "x", cfg: sim.DefaultConfig(sim.QueueIdeal, 64), wl: "swim"}})
+	if err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("expected error naming the unknown benchmark, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "swim") {
+		t.Errorf("error should list the valid names, got %v", err)
+	}
+}
+
+// TestRunAllForkMatchesColdPath: the checkpoint-fork scheduler must
+// reproduce the cold warm-every-run path bit for bit — same cycles, same
+// stats — including when several grid points share one checkpoint.
+func TestRunAllForkMatchesColdPath(t *testing.T) {
+	o := Options{Instructions: 3000, Warmup: 20_000, Seed: 1, Parallel: 4}
+	jobs := []job{
+		{key: "swim/ideal", cfg: sim.DefaultConfig(sim.QueueIdeal, 128), wl: "swim"},
+		{key: "swim/seg", cfg: sim.SegmentedConfig(128, 64, true, true), wl: "swim"},
+		{key: "swim/seg32", cfg: sim.SegmentedConfig(32, 64, true, true), wl: "swim"},
+		{key: "gcc/ideal", cfg: sim.DefaultConfig(sim.QueueIdeal, 128), wl: "gcc"},
+	}
+	res, err := o.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		cold, err := sim.RunWorkloadWarm(j.cfg, j.wl, o.Seed, o.Instructions, o.Warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res[j.key], cold) {
+			t.Errorf("%s: forked sweep result differs from cold run", j.key)
+		}
 	}
 }
 

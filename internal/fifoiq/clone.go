@@ -1,0 +1,27 @@
+package fifoiq
+
+import (
+	"repro/internal/iq"
+	"repro/internal/uop"
+)
+
+// Clone implements iq.Queue: a deep copy of every FIFO with held
+// instructions remapped through m. Scratch storage is not carried over.
+func (q *FIFOIQ) Clone(m *uop.CloneMap) iq.Queue {
+	n := new(FIFOIQ)
+	*n = *q
+	n.candScratch = nil
+	n.outScratch = nil
+	n.fifos = make([][]*uop.UOp, len(q.fifos))
+	for f, fifo := range q.fifos {
+		if fifo == nil {
+			continue
+		}
+		nf := make([]*uop.UOp, len(fifo))
+		for i, u := range fifo {
+			nf[i] = m.Get(u)
+		}
+		n.fifos[f] = nf
+	}
+	return n
+}

@@ -19,3 +19,7 @@ func TestConformanceFuzz(t *testing.T) {
 		})
 	}
 }
+
+func TestCloneFuzz(t *testing.T) {
+	iqtest.CloneFuzz(t, func() iq.Queue { return fifoiq.MustNew(fifoiq.DefaultConfig(128)) }, iqtest.DefaultOptions())
+}

@@ -15,3 +15,7 @@ func TestConformanceFuzz(t *testing.T) {
 		})
 	}
 }
+
+func TestCloneFuzz(t *testing.T) {
+	iqtest.CloneFuzz(t, func() iq.Queue { return iq.NewConventional(256) }, iqtest.DefaultOptions())
+}

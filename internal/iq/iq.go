@@ -71,6 +71,13 @@ type Queue interface {
 
 	// CollectStats adds design-specific statistics to s.
 	CollectStats(s *stats.Set)
+
+	// Clone returns a deep copy of the queue sharing no mutable state
+	// with the receiver. Held instructions are remapped through m, so a
+	// cloned machine's layers agree on the cloned uop identities; any
+	// queue-private per-instruction state (uop.UOp.IQ) is re-attached to
+	// the clones by the implementation.
+	Clone(m *uop.CloneMap) Queue
 }
 
 // Conventional is a monolithic instruction queue with full-queue wakeup
@@ -176,6 +183,22 @@ func (q *Conventional) Writeback(cycle int64, u *uop.UOp) {}
 
 // EndCycle implements Queue (no-op: a conventional IQ cannot deadlock).
 func (q *Conventional) EndCycle(cycle int64, machineActive bool) {}
+
+// Clone implements Queue.
+func (q *Conventional) Clone(m *uop.CloneMap) Queue {
+	n := new(Conventional)
+	*n = *q
+	n.outScratch = nil
+	if len(q.entries) > 0 {
+		n.entries = make([]*uop.UOp, len(q.entries))
+		for i, u := range q.entries {
+			n.entries[i] = m.Get(u)
+		}
+	} else {
+		n.entries = nil
+	}
+	return n
+}
 
 // CollectStats implements Queue.
 func (q *Conventional) CollectStats(s *stats.Set) {

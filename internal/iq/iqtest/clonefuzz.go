@@ -1,0 +1,152 @@
+package iqtest
+
+import (
+	"testing"
+
+	"repro/internal/iq"
+	"repro/internal/uop"
+)
+
+// CloneFuzz checks a queue's Clone against live state: it drives the
+// queue through a random DAG, deep-clones it mid-round — with entries
+// resident, chains allocated and instructions still to dispatch — and
+// then runs original and clone to completion in lockstep. The two must
+// issue identical instruction sequences every cycle and report identical
+// occupancy, and neither may perturb the other (the clone works on
+// remapped uops, so any shared mutable state shows up as divergence).
+func CloneFuzz(t *testing.T, mk func() iq.Queue, o Options) {
+	t.Helper()
+	for round := 0; round < o.Rounds; round++ {
+		cloneRound(t, mk(), o, uint64(round)*104729+11)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+type clonePending struct {
+	u  *uop.UOp
+	at int64
+}
+
+// cloneDriver is one independent machine instance: a queue plus the
+// surrounding state the fuzz harness stands in for (completion events and
+// the dispatch cursor).
+type cloneDriver struct {
+	q        iq.Queue
+	prog     []*uop.UOp
+	inFlight []clonePending
+	next     int
+	issued   int
+}
+
+// step runs one protocol cycle. Latency decisions come from miss, indexed
+// by program position, so the original and the clone see identical
+// timings. It returns the Seqs issued this cycle.
+func (d *cloneDriver) step(cycle int64, o Options, miss []bool) []int64 {
+	kept := d.inFlight[:0]
+	for _, pf := range d.inFlight {
+		if pf.at <= cycle {
+			pf.u.Complete = pf.at
+			if pf.u.IsLoad() {
+				d.q.NotifyLoadComplete(cycle, pf.u)
+			}
+			d.q.Writeback(cycle, pf.u)
+			continue
+		}
+		kept = append(kept, pf)
+	}
+	d.inFlight = kept
+
+	d.q.BeginCycle(cycle)
+	var seqs []int64
+	got := d.q.Issue(cycle, o.IssueWidth, func(*uop.UOp) bool { return true })
+	for _, u := range got {
+		d.issued++
+		seqs = append(seqs, u.Seq)
+		switch {
+		case u.IsLoad():
+			u.EADone = cycle + 1
+			lat := int64(5)
+			if miss[u.Seq] {
+				lat = o.LoadMissLatency
+				d.q.NotifyLoadMiss(cycle+1, u)
+				u.MemKind = uop.MemMiss
+			} else {
+				u.MemKind = uop.MemHit
+			}
+			d.inFlight = append(d.inFlight, clonePending{u: u, at: cycle + lat})
+		case u.IsStore():
+			u.EADone = cycle + 1
+			d.inFlight = append(d.inFlight, clonePending{u: u, at: cycle + 1})
+		default:
+			d.inFlight = append(d.inFlight, clonePending{u: u, at: cycle + int64(u.Latency())})
+		}
+	}
+	for w := 0; w < o.DispatchWidth && d.next < len(d.prog); w++ {
+		if !d.q.Dispatch(cycle, d.prog[d.next]) {
+			break
+		}
+		d.next++
+	}
+	d.q.EndCycle(cycle, len(d.inFlight) > 0)
+	return seqs
+}
+
+func cloneRound(t *testing.T, q iq.Queue, o Options, seed uint64) {
+	t.Helper()
+	r := &rng{s: seed}
+	prog := buildProg(r, o.Instructions)
+	miss := make([]bool, len(prog))
+	for i := range miss {
+		miss[i] = r.intn(3) == 0
+	}
+	cloneAt := int64(5 + r.intn(30))
+
+	d := &cloneDriver{q: q, prog: prog}
+	var d2 *cloneDriver
+
+	for cycle := int64(1); ; cycle++ {
+		if cycle > o.MaxCycles {
+			t.Fatalf("seed %d: liveness violated: %d/%d issued after %d cycles (queue %s)",
+				seed, d.issued, len(prog), cycle, d.q.Name())
+		}
+		if d2 == nil && cycle == cloneAt {
+			m := uop.NewCloneMap()
+			q2 := q.Clone(m)
+			if q2.Len() != q.Len() {
+				t.Fatalf("seed %d: clone len %d, original len %d", seed, q2.Len(), q.Len())
+			}
+			prog2 := make([]*uop.UOp, len(prog))
+			for i, u := range prog {
+				prog2[i] = m.Get(u)
+			}
+			inF2 := make([]clonePending, len(d.inFlight))
+			for i, pf := range d.inFlight {
+				inF2[i] = clonePending{u: m.Get(pf.u), at: pf.at}
+			}
+			d2 = &cloneDriver{q: q2, prog: prog2, inFlight: inF2, next: d.next, issued: d.issued}
+		}
+		seqs := d.step(cycle, o, miss)
+		if d2 != nil {
+			seqs2 := d2.step(cycle, o, miss)
+			if len(seqs) != len(seqs2) {
+				t.Fatalf("seed %d: cycle %d: original issued %v, clone issued %v", seed, cycle, seqs, seqs2)
+			}
+			for i := range seqs {
+				if seqs[i] != seqs2[i] {
+					t.Fatalf("seed %d: cycle %d: original issued %v, clone issued %v", seed, cycle, seqs, seqs2)
+				}
+			}
+			if d.q.Len() != d2.q.Len() {
+				t.Fatalf("seed %d: cycle %d: original len %d, clone len %d", seed, cycle, d.q.Len(), d2.q.Len())
+			}
+		}
+		if d.issued == len(prog) && (d2 == nil || d2.issued == len(prog)) {
+			if d2 == nil {
+				t.Fatalf("seed %d: round drained at cycle %d before the clone point %d", seed, cycle, cloneAt)
+			}
+			return
+		}
+	}
+}

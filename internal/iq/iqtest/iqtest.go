@@ -71,12 +71,10 @@ func Fuzz(t *testing.T, mk func() iq.Queue, o Options) {
 	}
 }
 
-func fuzzRound(t *testing.T, q iq.Queue, o Options, seed uint64) {
-	t.Helper()
-	r := &rng{s: seed}
-
-	// Build a random program: a DAG over architectural registers.
-	prog := make([]*uop.UOp, o.Instructions)
+// buildProg generates a random renamed program: a DAG over architectural
+// registers with most-recent-writer producer edges.
+func buildProg(r *rng, n int) []*uop.UOp {
+	prog := make([]*uop.UOp, n)
 	for i := range prog {
 		var in isa.Inst
 		in.PC = 0x1000 + uint64(4*i)
@@ -107,7 +105,6 @@ func fuzzRound(t *testing.T, q iq.Queue, o Options, seed uint64) {
 		}
 		prog[i] = uop.New(int64(i), in)
 	}
-	// Rename: most-recent-writer producer edges.
 	last := map[int]*uop.UOp{}
 	for _, u := range prog {
 		for j := 0; j < 2; j++ {
@@ -123,6 +120,13 @@ func fuzzRound(t *testing.T, q iq.Queue, o Options, seed uint64) {
 			last[u.Inst.Dest] = u
 		}
 	}
+	return prog
+}
+
+func fuzzRound(t *testing.T, q iq.Queue, o Options, seed uint64) {
+	t.Helper()
+	r := &rng{s: seed}
+	prog := buildProg(r, o.Instructions)
 
 	type pending struct {
 		u  *uop.UOp

@@ -1,0 +1,64 @@
+package mem
+
+import "fmt"
+
+// Cloning the memory system copies its architectural state — tag/LRU
+// arrays, dirty bits, link reservations, statistics — into a structure
+// wired to a fresh event queue. Transient state cannot move across a
+// clone: pending events, busy MSHRs and queued fetches hold closures
+// bound to the original caches, so the hierarchy must be quiescent. The
+// sweep harness only clones warmed machines at cycle zero, where
+// quiescence holds by construction; Clone checks it anyway so a misuse
+// fails loudly instead of dropping in-flight accesses.
+
+// Clone returns a copy of the cache's architectural state wired to eq and
+// lower. The cache must be idle: no busy MSHRs and no queued upper-level
+// fetches.
+func (c *Cache) Clone(eq *EventQueue, lower Supplier) (*Cache, error) {
+	if len(c.mshrs) > 0 || len(c.pendingFetches) > 0 {
+		return nil, fmt.Errorf("mem: %s: clone with %d busy MSHRs, %d pending fetches",
+			c.cfg.Name, len(c.mshrs), len(c.pendingFetches))
+	}
+	n, err := NewCache(c.cfg, eq, lower)
+	if err != nil {
+		return nil, err
+	}
+	copy(n.lines, c.lines)
+	n.stamp = c.stamp
+	n.linkFree = c.linkFree
+	n.stats = c.stats
+	n.mshrPeak = c.mshrPeak
+	return n, nil
+}
+
+// Clone returns a copy of the memory channel state wired to eq.
+func (m *MainMemory) Clone(eq *EventQueue) *MainMemory {
+	n := new(MainMemory)
+	*n = *m
+	n.eq = eq
+	return n
+}
+
+// Clone returns an independent copy of the whole hierarchy around a fresh
+// event queue. The hierarchy must be quiescent: no pending events (and
+// hence no in-flight fills anywhere in it).
+func (h *Hierarchy) Clone() (*Hierarchy, error) {
+	if h.EQ.Len() > 0 {
+		return nil, fmt.Errorf("mem: clone with %d pending events", h.EQ.Len())
+	}
+	eq := &EventQueue{}
+	mm := h.Mem.Clone(eq)
+	l2, err := h.L2.Clone(eq, mm)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := h.L1I.Clone(eq, l2)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := h.L1D.Clone(eq, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{EQ: eq, L1I: l1i, L1D: l1d, L2: l2, Mem: mm}, nil
+}

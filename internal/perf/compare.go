@@ -1,0 +1,59 @@
+package perf
+
+import "fmt"
+
+// Compare checks a fresh capture against a stored baseline and returns
+// one human-readable warning per suspected regression. threshold is the
+// tolerated fractional slowdown for the timing numbers (0.5 = 50%) —
+// generous on purpose, since captures from different machines differ by
+// far more than any single code change. Two checks are exact regardless
+// of threshold: simulated instruction and cycle counts must not move
+// between captures of the same pinned workload (the simulator is
+// deterministic; a drift means behaviour changed, not speed), and a
+// workload present in the baseline must still be measured.
+//
+// An empty result means no regression detected. Callers decide severity;
+// the CI gate prints the warnings without failing the build.
+func Compare(baseline, current Baseline, threshold float64) []string {
+	var warnings []string
+	if baseline.Schema != current.Schema {
+		warnings = append(warnings, fmt.Sprintf(
+			"schema mismatch: baseline %d vs current %d; comparisons may be meaningless",
+			baseline.Schema, current.Schema))
+	}
+	cur := make(map[string]Metrics, len(current.Workloads))
+	for _, w := range current.Workloads {
+		cur[w.Name] = w
+	}
+	for _, b := range baseline.Workloads {
+		c, ok := cur[b.Name]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s: present in baseline but not measured in current capture", b.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+threshold) {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (+%.0f%%, threshold %.0f%%)",
+				b.Name, c.NsPerOp, b.NsPerOp,
+				100*(c.NsPerOp/b.NsPerOp-1), 100*threshold))
+		}
+		if b.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+threshold) {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (+%.0f%%, threshold %.0f%%)",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp,
+				100*(float64(c.AllocsPerOp)/float64(b.AllocsPerOp)-1), 100*threshold))
+		}
+		if b.SimInstructions != 0 && c.SimInstructions != b.SimInstructions {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s: simulated %d instructions vs baseline %d — simulated behaviour changed",
+				b.Name, c.SimInstructions, b.SimInstructions))
+		}
+		if b.SimCycles != 0 && c.SimCycles != b.SimCycles {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s: simulated %d cycles vs baseline %d — simulated behaviour changed",
+				b.Name, c.SimCycles, b.SimCycles))
+		}
+	}
+	return warnings
+}

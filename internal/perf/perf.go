@@ -118,6 +118,91 @@ func machineWorkload(cfg sim.Config, workload string, n, warm int64) (func(b *te
 	return fn, &cycles, &insts, &ipc
 }
 
+// sweepGrid is the pinned grid of the sweep workloads: six points varying
+// queue design and size under one memory/branch geometry, the shape of a
+// real iqbench sweep.
+func sweepGrid() []sim.Config {
+	return []sim.Config{
+		sim.DefaultConfig(sim.QueueIdeal, 512),
+		sim.SegmentedConfig(512, 128, true, true),
+		sim.SegmentedConfig(512, 64, true, true),
+		sim.SegmentedConfig(256, 128, true, true),
+		sim.PrescheduledConfig(320),
+		sim.DistanceConfig(320),
+	}
+}
+
+// The sweep pins the default iqbench warmup (300k instructions) so the
+// cold/forked ratio reflects what a real sweep saves.
+const (
+	sweepWorkload = "swim"
+	sweepN        = 10_000
+	sweepWarm     = 300_000
+)
+
+// sweepCold sweeps the grid the pre-checkpoint way: every point warms the
+// machine from scratch.
+func sweepCold() (insts, cycles int64, err error) {
+	for _, cfg := range sweepGrid() {
+		r, err := sim.RunWorkloadWarm(cfg, sweepWorkload, 1, sweepN, sweepWarm)
+		if err != nil {
+			return 0, 0, err
+		}
+		insts += r.Instructions
+		cycles += r.Cycles
+	}
+	return insts, cycles, nil
+}
+
+// sweepForked sweeps the same grid by warming once and forking the
+// checkpoint per point. Its simulated totals must equal sweepCold's —
+// forked runs are bit-identical — while its wall-clock drops by roughly
+// the warmup fraction.
+func sweepForked() (insts, cycles int64, err error) {
+	ck, err := sim.NewCheckpoint(sim.DefaultConfig(sim.QueueIdeal, 512), sweepWorkload, 1, sweepWarm)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, cfg := range sweepGrid() {
+		p, err := ck.Fork(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, err := p.Run(sweepN)
+		if err != nil {
+			return 0, 0, err
+		}
+		insts += r.Instructions
+		cycles += r.Cycles
+	}
+	return insts, cycles, nil
+}
+
+// measureSweep benchmarks one sweep variant.
+func measureSweep(name string, sweep func() (int64, int64, error)) Metrics {
+	var insts, cycles int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			insts, cycles, err = sweep()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m := fromResult(name, r)
+	m.SimInstructions = insts
+	m.SimCycles = cycles
+	if secs := r.T.Seconds(); secs > 0 {
+		m.SimMIPS = float64(insts) * float64(r.N) / secs / 1e6
+	}
+	if cycles > 0 {
+		m.NsPerSimCycle = m.NsPerOp / float64(cycles)
+	}
+	return m
+}
+
 // Measure runs every pinned workload and returns the baseline. It takes a
 // few seconds per workload (testing.Benchmark's usual settling).
 func Measure() Baseline {
@@ -157,6 +242,13 @@ func Measure() Baseline {
 		}
 		b.Workloads = append(b.Workloads, mt)
 	}
+
+	// The sweep pair measures the checkpoint-fork scheduler's win: the
+	// same pinned grid swept cold and forked. Their ns/op ratio is the
+	// sweep wall-clock saving; their simulated totals must be identical.
+	b.Workloads = append(b.Workloads,
+		measureSweep("sweep6_swim_cold", sweepCold),
+		measureSweep("sweep6_swim_forked", sweepForked))
 	return b
 }
 

@@ -39,3 +39,53 @@ func TestReadJSONMissingFile(t *testing.T) {
 		t.Fatal("expected error for missing file")
 	}
 }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := Baseline{Schema: Schema, Workloads: []Metrics{
+		{Name: "cycle", NsPerOp: 1000, AllocsPerOp: 8},
+		{Name: "machine", NsPerOp: 1e6, AllocsPerOp: 100, SimInstructions: 10_000, SimCycles: 6000},
+		{Name: "gone", NsPerOp: 500},
+	}}
+	cur := Baseline{Schema: Schema, Workloads: []Metrics{
+		{Name: "cycle", NsPerOp: 1600, AllocsPerOp: 8},                                              // +60% time
+		{Name: "machine", NsPerOp: 1e6, AllocsPerOp: 100, SimInstructions: 10_000, SimCycles: 6001}, // behaviour drift
+	}}
+	warnings := Compare(base, cur, 0.5)
+	if len(warnings) != 3 {
+		t.Fatalf("want 3 warnings (slowdown, cycle drift, missing workload), got %d: %v",
+			len(warnings), warnings)
+	}
+}
+
+func TestCompareCleanWithinThreshold(t *testing.T) {
+	base := Baseline{Schema: Schema, Workloads: []Metrics{
+		{Name: "machine", NsPerOp: 1e6, AllocsPerOp: 100, SimInstructions: 10_000, SimCycles: 6000},
+	}}
+	cur := Baseline{Schema: Schema, Workloads: []Metrics{
+		{Name: "machine", NsPerOp: 1.3e6, AllocsPerOp: 110, SimInstructions: 10_000, SimCycles: 6000},
+		{Name: "brand-new", NsPerOp: 42},
+	}}
+	if warnings := Compare(base, cur, 0.5); len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+}
+
+// TestSweepVariantsSimulateIdentically: the cold and forked sweep
+// workloads must simulate exactly the same instructions and cycles — the
+// forked variant only skips redundant warmups, never work.
+func TestSweepVariantsSimulateIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep pair in -short mode")
+	}
+	ci, cc, err := sweepCold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, fc, err := sweepForked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci != fi || cc != fc {
+		t.Fatalf("cold sweep simulated (%d insts, %d cycles), forked (%d, %d)", ci, cc, fi, fc)
+	}
+}

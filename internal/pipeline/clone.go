@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/iq"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/uop"
+)
+
+// The pipeline structures hold in-flight instructions by pointer, so
+// their clones remap every held uop through a shared uop.CloneMap —
+// the cloned machine's layers then agree on the cloned identities, just
+// as the originals share the original pointers. Collaborator structures
+// (stream, predictors, caches, queue) are cloned by the engine first and
+// passed in, since only it knows how they wire together.
+
+// Clone returns a copy of the front end reading from stream and using the
+// given already-cloned predictor, BTB and instruction cache. Buffered
+// instructions are remapped through m.
+func (f *FrontEnd) Clone(stream trace.Stream, bp *bpred.Predictor, btb *bpred.BTB, icache *mem.Cache, m *uop.CloneMap) *FrontEnd {
+	n := NewFrontEnd(f.cfg, stream, bp, btb, icache)
+	if len(f.buf) > 0 {
+		n.buf = make([]fetched, len(f.buf))
+		for i, fe := range f.buf {
+			n.buf[i] = fetched{u: m.Get(fe.u), readyAt: fe.readyAt}
+		}
+	}
+	if f.pending != nil {
+		in := *f.pending
+		n.pending = &in
+	}
+	n.seq = f.seq
+	n.done = f.done
+	n.stalledOn = m.Get(f.stalledOn)
+	n.icacheWait = f.icacheWait
+	n.currentLine = f.currentLine
+	n.haveLine = f.haveLine
+	n.fetchedCount = f.fetchedCount
+	n.branches = f.branches
+	n.mispredicts = f.mispredicts
+	n.btbMisses = f.btbMisses
+	n.icacheStallCyc = f.icacheStallCyc
+	n.branchStallCyc = f.branchStallCyc
+	return n
+}
+
+// Clone returns a copy of the load/store queue over the already-cloned
+// data cache, event queue and scheduler. Queue contents are remapped
+// through m; the OnLoadDone hook is not copied (the owning engine rebinds
+// it).
+func (l *LSQ) Clone(l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, m *uop.CloneMap) *LSQ {
+	n := NewLSQ(l.capacity, l1d, eq, q, l.rdPorts, l.wrPorts)
+	if len(l.entries) > 0 {
+		n.entries = make([]*uop.UOp, len(l.entries))
+		for i, u := range l.entries {
+			n.entries[i] = m.Get(u)
+		}
+	}
+	n.writeQ = append([]memWrite(nil), l.writeQ...)
+	n.forwards = l.forwards
+	n.mshrRejects = l.mshrRejects
+	n.loadsIssued = l.loadsIssued
+	n.storeWrites = l.storeWrites
+	n.blockedByStore = l.blockedByStore
+	return n
+}
+
+// Clone returns a copy of the reorder buffer with its contents remapped
+// through m.
+func (r *ROB) Clone(m *uop.CloneMap) *ROB {
+	n := &ROB{ring: make([]*uop.UOp, len(r.ring)), head: r.head, n: r.n}
+	for i, u := range r.ring {
+		n.ring[i] = m.Get(u)
+	}
+	return n
+}
+
+// Clone returns a copy of the rename table with its producer pointers
+// remapped through m.
+func (r *Renamer) Clone(m *uop.CloneMap) *Renamer {
+	n := NewRenamer()
+	for i, u := range r.last {
+		n.last[i] = m.Get(u)
+	}
+	return n
+}
+
+// Clone returns an independent copy of the function-unit pools.
+func (f *FUPool) Clone() *FUPool {
+	n := new(FUPool)
+	*n = *f
+	for p := range f.units {
+		n.units[p] = append([]int64(nil), f.units[p]...)
+	}
+	return n
+}

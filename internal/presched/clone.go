@@ -1,0 +1,36 @@
+package presched
+
+import (
+	"repro/internal/iq"
+	"repro/internal/uop"
+)
+
+// Clone implements iq.Queue: a deep copy of the scheduling array, issue
+// buffer and availability table with every held instruction remapped
+// through m. Scratch storage is not carried over.
+func (q *PreschedIQ) Clone(m *uop.CloneMap) iq.Queue {
+	n := new(PreschedIQ)
+	*n = *q
+	n.outScratch = nil
+	n.lines = make([][]*uop.UOp, len(q.lines))
+	for r, row := range q.lines {
+		if row == nil {
+			continue
+		}
+		nr := make([]*uop.UOp, len(row))
+		for i, u := range row {
+			nr[i] = m.Get(u)
+		}
+		n.lines[r] = nr
+	}
+	n.buf = make([]*uop.UOp, len(q.buf))
+	for i, u := range q.buf {
+		n.buf[i] = m.Get(u)
+	}
+	n.bufAt = append([]int64(nil), q.bufAt...)
+	n.avail = append([]availEntry(nil), q.avail...)
+	for i := range n.avail {
+		n.avail[i].producer = m.Get(n.avail[i].producer)
+	}
+	return n
+}

@@ -19,3 +19,7 @@ func TestConformanceFuzz(t *testing.T) {
 		})
 	}
 }
+
+func TestCloneFuzz(t *testing.T) {
+	iqtest.CloneFuzz(t, func() iq.Queue { return presched.MustNew(presched.DefaultConfig(320)) }, iqtest.DefaultOptions())
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Checkpoint captures a machine warmed over one workload's prefix: caches
+// installed, branch structures trained, and the instruction stream
+// advanced to the measurement point. Fork then stamps out fresh machines
+// that resume from that state — under the checkpoint's own configuration
+// or any other that keeps the same memory and branch-structure geometry —
+// so a sweep pays for the warmup once per (workload, seed) instead of
+// once per grid point.
+//
+// The forked machines share a memoised view of the post-warmup stream
+// (trace.ForkSource); Fork is safe to call from concurrent goroutines,
+// and the forked machines may themselves run concurrently.
+type Checkpoint struct {
+	template *Engine
+}
+
+// NewCheckpoint builds the named workload, fast-forwards it by warm
+// instructions (Engine.Warm: cache lines installed, branch structures
+// trained, no simulated time), and captures the result.
+func NewCheckpoint(cfg Config, workload string, seed uint64, warm int64) (*Checkpoint, error) {
+	base, err := trace.New(workload, seed)
+	if err != nil {
+		return nil, err
+	}
+	src := trace.NewForkSource(base)
+	cur := src.Fork()
+	e, err := NewEngine(cfg, []trace.Stream{cur})
+	if err != nil {
+		return nil, err
+	}
+	if warm > 0 {
+		e.Warm([]trace.Stream{cur}, warm)
+		// The warmup prefix will never be replayed: every fork starts at
+		// the frontier.
+		src.TrimBefore(cur.Pos())
+	}
+	return &Checkpoint{template: e}, nil
+}
+
+// Workload returns the checkpointed workload's name.
+func (ck *Checkpoint) Workload() string { return ck.template.ctxs[0].workload }
+
+// Fork returns a fresh machine resuming from the checkpoint under cfg,
+// which may vary the queue design, queue size, widths, and ROB/LSQ sizes
+// freely. The memory hierarchy and branch-structure geometry must match
+// the checkpoint's — the warmed state would be meaningless otherwise —
+// and a mismatch is an error. Concurrent forks are safe: the checkpoint
+// is only ever read.
+func (ck *Checkpoint) Fork(cfg Config) (*Processor, error) {
+	t := ck.template
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Memory != t.cfg.Memory {
+		return nil, fmt.Errorf("sim: fork changes memory geometry; re-checkpoint instead")
+	}
+	if cfg.BranchPredictor != t.cfg.BranchPredictor ||
+		cfg.BTBEntries != t.cfg.BTBEntries || cfg.BTBWays != t.cfg.BTBWays {
+		return nil, fmt.Errorf("sim: fork changes branch-structure geometry; re-checkpoint instead")
+	}
+	q, err := cfg.buildQueue()
+	if err != nil {
+		return nil, err
+	}
+	hier, err := t.hier.Clone()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		q:    q,
+		hier: hier,
+		fus:  pipeline.NewFUPool(cfg.FUPerClass),
+	}
+	tth := t.ctxs[0]
+	th, err := e.newContext(0, tth.stream.(trace.Forkable).Fork(),
+		cfg.ROBSize, cfg.LSQSize, tth.bp.Clone(), tth.btb.Clone())
+	if err != nil {
+		return nil, err
+	}
+	e.ctxs = append(e.ctxs, th)
+	e.bindCallbacks()
+	return &Processor{Engine: e}, nil
+}

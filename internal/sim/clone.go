@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/uop"
+)
+
+// Clone returns an independent deep copy of the machine: the queue, every
+// context's front end, renamer, ROB and LSQ, the memory hierarchy, branch
+// structures and statistics. In-flight instructions are remapped through
+// one shared uop.CloneMap so the cloned layers agree on instruction
+// identity exactly as the originals do. Stepping either machine leaves
+// the other untouched.
+//
+// Two gates apply. The machine must be quiescent — no issued instruction
+// awaiting completion and no pending memory events — because scheduled
+// events hold closures bound to the original machine and cannot be
+// re-bound. And every context's stream must be forkable (trace.Forkable)
+// so the clone can replay the same instruction suffix. Machines built by
+// NewCheckpoint satisfy both by construction.
+func (e *Engine) Clone() (*Engine, error) {
+	if e.inExec != 0 {
+		return nil, fmt.Errorf("sim: clone requires a quiescent machine (%d instructions in execution)", e.inExec)
+	}
+	hier, err := e.hier.Clone()
+	if err != nil {
+		return nil, err
+	}
+	for _, th := range e.ctxs {
+		if _, ok := th.stream.(trace.Forkable); !ok {
+			return nil, fmt.Errorf("sim: clone requires forkable streams (context %d reads a %T)", th.id, th.stream)
+		}
+	}
+	m := uop.NewCloneMap()
+	n := new(Engine)
+	*n = *e
+	n.hier = hier
+	n.fus = e.fus.Clone()
+	n.q = e.q.Clone(m)
+	n.ctxs = nil
+	for _, th := range e.ctxs {
+		s := th.stream.(trace.Forkable).Fork()
+		bp := th.bp.Clone()
+		btb := th.btb.Clone()
+		nth := &context{
+			id:        th.id,
+			stream:    s,
+			bp:        bp,
+			btb:       btb,
+			fe:        th.fe.Clone(s, bp, btb, hier.L1I, m),
+			ren:       th.ren.Clone(m),
+			rob:       th.rob.Clone(m),
+			workload:  th.workload,
+			committed: th.committed,
+		}
+		nth.lsq = th.lsq.Clone(hier.L1D, hier.EQ, n.q, m)
+		n.bindCommit(nth)
+		n.ctxs = append(n.ctxs, nth)
+	}
+	n.bindCallbacks()
+	return n, nil
+}

@@ -1,0 +1,431 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/distiq"
+	"repro/internal/iq"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/presched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/uop"
+)
+
+// Engine is the one machine behind both Processor and SMTProcessor: a
+// Table 1 pipeline whose shared resources (instruction queue, function
+// units, memory hierarchy) are driven by one or more hardware contexts.
+// A single-threaded run is simply an Engine with one context; the §7 SMT
+// machine is the same Engine with several. Fetch and dispatch bandwidth
+// rotate round-robin among contexts, commit bandwidth is shared with
+// rotating priority, and chains from independent threads interleave
+// freely in the segmented queue.
+type Engine struct {
+	cfg Config
+	q   iq.Queue
+
+	hier *mem.Hierarchy
+	fus  *pipeline.FUPool
+
+	ctxs []*context
+
+	cycle  int64
+	inExec int // issued instructions whose results are outstanding
+	seq    int64
+
+	// Per-cycle and per-instruction callbacks, bound once at construction
+	// so the cycle loop schedules no fresh closures. tryIssueFn reads
+	// e.cycle, which equals the cycle being stepped throughout Step.
+	tryIssueFn func(*uop.UOp) bool
+	execDoneFn func(now int64, arg any) // EA done for loads: leave execution
+	wbDoneFn   func(now int64, arg any) // completion: leave execution + writeback
+
+	// Per-run statistics (aggregated across contexts).
+	stIssued       stats.Counter
+	stCommitted    stats.Counter
+	stDispStallROB stats.Counter
+	stDispStallLSQ stats.Counter
+	stDispStallIQ  stats.Counter
+	stRobOcc       stats.Mean
+}
+
+// context is one hardware context: a private front end (with branch
+// predictor and BTB), renamer, reorder buffer and load/store queue over
+// the shared back end.
+type context struct {
+	id     int
+	stream trace.Stream
+	bp     *bpred.Predictor
+	btb    *bpred.BTB
+	fe     *pipeline.FrontEnd
+	ren    *pipeline.Renamer
+	rob    *pipeline.ROB
+	lsq    *pipeline.LSQ
+
+	workload  string
+	committed int64
+
+	// commitFn is the ROB commit callback, bound once per context.
+	commitFn func(*uop.UOp)
+}
+
+// NewEngine builds a machine over the given workload streams, one per
+// hardware context. With one stream the ROB and LSQ keep their full
+// configured capacities; with several, the capacities are divided evenly
+// among the contexts and the queue designs' per-register tables are
+// replicated per context.
+func NewEngine(cfg Config, streams []trace.Stream) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(streams)
+	if n < 1 {
+		return nil, fmt.Errorf("sim: SMT needs at least one stream")
+	}
+	robEach, lsqEach := cfg.ROBSize, cfg.LSQSize
+	if n > 1 {
+		// Replicate per-thread tables inside the queue designs.
+		switch cfg.Queue {
+		case QueueSegmented:
+			if cfg.Segmented.Segments == 0 {
+				cfg.Segmented = core.DefaultConfig(cfg.QueueSize, 0)
+			}
+			cfg.Segmented.Threads = n
+		case QueuePrescheduled:
+			if cfg.Presched.Lines == 0 {
+				cfg.Presched = presched.DefaultConfig(cfg.QueueSize)
+			}
+			cfg.Presched.Threads = n
+		case QueueDistance:
+			if cfg.Distance.Lines == 0 {
+				cfg.Distance = distiq.DefaultConfig(cfg.QueueSize)
+			}
+			cfg.Distance.Threads = n
+		}
+		robEach = cfg.ROBSize / n
+		if robEach < 8 {
+			robEach = 8
+		}
+		lsqEach = cfg.LSQSize / n
+		if lsqEach < 4 {
+			lsqEach = 4
+		}
+	}
+	q, err := cfg.buildQueue()
+	if err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		q:    q,
+		hier: hier,
+		fus:  pipeline.NewFUPool(cfg.FUPerClass),
+	}
+	for i, s := range streams {
+		th, err := e.newContext(i, s, robEach, lsqEach, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		e.ctxs = append(e.ctxs, th)
+	}
+	e.bindCallbacks()
+	return e, nil
+}
+
+// newContext builds one hardware context over the engine's shared
+// hierarchy and queue. bp and btb, if non-nil, supply pre-trained branch
+// structures (checkpoint forks); otherwise fresh ones are built.
+func (e *Engine) newContext(id int, s trace.Stream, robSize, lsqSize int, bp *bpred.Predictor, btb *bpred.BTB) (*context, error) {
+	var err error
+	if bp == nil {
+		bp, err = bpred.NewPredictor(e.cfg.BranchPredictor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if btb == nil {
+		btb, err = bpred.NewBTB(e.cfg.BTBEntries, e.cfg.BTBWays)
+		if err != nil {
+			return nil, err
+		}
+	}
+	feCfg := pipeline.FrontEndConfig{
+		FetchWidth:       e.cfg.FetchWidth,
+		MaxBranches:      e.cfg.MaxBranches,
+		FetchToDecode:    e.cfg.FetchToDecode,
+		DecodeToDispatch: e.cfg.DecodeToDispatch,
+		ExtraDispatch:    e.q.ExtraDispatchStages(),
+		BufferCap:        (e.cfg.FetchToDecode + e.cfg.DecodeToDispatch + 10) * e.cfg.FetchWidth,
+	}
+	th := &context{
+		id:       id,
+		stream:   s,
+		bp:       bp,
+		btb:      btb,
+		fe:       pipeline.NewFrontEnd(feCfg, s, bp, btb, e.hier.L1I),
+		ren:      pipeline.NewRenamer(),
+		rob:      pipeline.NewROB(robSize),
+		workload: s.Name(),
+	}
+	th.lsq = pipeline.NewLSQ(lsqSize, e.hier.L1D, e.hier.EQ, e.q, e.cfg.CacheRdPorts, e.cfg.CacheWrPorts)
+	e.bindCommit(th)
+	return th, nil
+}
+
+// bindCommit (re)binds a context's ROB commit callback to e and th.
+func (e *Engine) bindCommit(th *context) {
+	th.commitFn = func(u *uop.UOp) {
+		th.committed++
+		e.stCommitted.Inc()
+		switch {
+		case u.IsStore():
+			th.lsq.CommitStore(u)
+		case u.IsLoad():
+			th.lsq.Remove(u)
+		}
+	}
+}
+
+// bindCallbacks (re)binds the issue loop's shared callbacks to e.
+func (e *Engine) bindCallbacks() {
+	e.tryIssueFn = func(u *uop.UOp) bool { return e.fus.TryIssue(e.cycle, u) }
+	e.execDoneFn = func(now int64, arg any) { e.inExec-- }
+	e.wbDoneFn = func(now int64, arg any) {
+		e.inExec--
+		e.q.Writeback(now, arg.(*uop.UOp))
+	}
+}
+
+// Queue exposes the shared scheduler under test.
+func (e *Engine) Queue() iq.Queue { return e.q }
+
+// Cycle returns the current cycle number.
+func (e *Engine) Cycle() int64 { return e.cycle }
+
+// Committed returns the total instructions retired across all contexts.
+func (e *Engine) Committed() int64 {
+	var sum int64
+	for _, th := range e.ctxs {
+		sum += th.committed
+	}
+	return sum
+}
+
+// Contexts returns the number of hardware contexts.
+func (e *Engine) Contexts() int { return len(e.ctxs) }
+
+// Step advances the machine one cycle.
+func (e *Engine) Step() {
+	c := e.cycle
+	n := len(e.ctxs)
+
+	// 1. Memory system and scheduled core events (completions,
+	//    writebacks, chain suspensions).
+	e.hier.Tick(c)
+
+	// 2. Commit, in order, up to the commit width — shared bandwidth with
+	//    rotating priority among contexts.
+	commits := 0
+	width := e.cfg.CommitWidth
+	for i := 0; i < n && width > 0; i++ {
+		th := e.ctxs[(int(c)+i)%n]
+		done := th.rob.Commit(c, width, th.commitFn)
+		commits += done
+		width -= done
+	}
+
+	// 3. Scheduler-internal work: wire propagation, promotion, pushdown,
+	//    deadlock recovery, or array advance.
+	e.q.BeginCycle(c)
+
+	// 4. Issue and begin execution.
+	e.issue(c)
+
+	// 5. The LSQs start eligible cache accesses and drain retired stores.
+	for _, th := range e.ctxs {
+		th.lsq.Tick(c)
+	}
+
+	// 6. In-order dispatch from the front-end buffers, round-robin.
+	e.dispatch(c)
+
+	// 7. Fetch: round-robin, one context per cycle at full width (RR.1.8).
+	//    A context stalled on a misprediction or I-cache miss yields the
+	//    port to the next one.
+	for i := 0; i < n; i++ {
+		th := e.ctxs[(int(c)+i)%n]
+		before := th.fe.BufLen()
+		th.fe.Fetch(c)
+		if th.fe.BufLen() != before || th.fe.Done() {
+			break
+		}
+	}
+
+	// 8. Deadlock bookkeeping.
+	active := e.inExec > 0 || e.hier.EQ.Len() > 0 || commits > 0
+	robLen := 0
+	for _, th := range e.ctxs {
+		active = active || th.lsq.Busy()
+		robLen += th.rob.Len()
+	}
+	e.q.EndCycle(c, active)
+
+	e.stRobOcc.Observe(float64(robLen))
+	e.cycle++
+}
+
+func (e *Engine) issue(c int64) {
+	issued := e.q.Issue(c, e.cfg.IssueWidth, e.tryIssueFn)
+	e.stIssued.Add(uint64(len(issued)))
+	for _, u := range issued {
+		lat := int64(u.Latency())
+		e.inExec++
+		switch {
+		case u.IsLoad():
+			// The EA calculation finishes after one cycle; the LSQ takes
+			// over. A load waiting in the LSQ is *not* "in execution" —
+			// it may be blocked on the IQ's own progress, and counting it
+			// would mask the deadlocks §4.5 recovers from. Its memory
+			// traffic keeps the machine active through the event queue.
+			u.EADone = c + lat
+			e.hier.EQ.ScheduleArg(u.EADone, e.execDoneFn, nil)
+		case u.IsStore():
+			// Retirement (Complete) is set by the LSQ once the data is
+			// also ready; the chain writeback happens at EA completion
+			// (stores produce no register value).
+			u.EADone = c + lat
+			e.hier.EQ.ScheduleArg(u.EADone, e.wbDoneFn, u)
+		default:
+			u.Complete = c + lat
+			e.hier.EQ.ScheduleArg(u.Complete, e.wbDoneFn, u)
+		}
+	}
+}
+
+// dispatch shares the dispatch width round-robin: each context advances
+// in order; a context that stalls yields the remaining slots.
+func (e *Engine) dispatch(c int64) {
+	n := len(e.ctxs)
+	width := e.cfg.DispatchWidth
+	for i := 0; i < n && width > 0; i++ {
+		th := e.ctxs[(int(c)+i)%n]
+		for width > 0 {
+			u := th.fe.NextReady(c)
+			if u == nil {
+				break
+			}
+			if th.rob.Full() {
+				e.stDispStallROB.Inc()
+				break
+			}
+			if u.Inst.Class.IsMem() && th.lsq.Full() {
+				e.stDispStallLSQ.Inc()
+				break
+			}
+			// Retag with a globally unique, age-ordered sequence number
+			// and the owning context. (With one context the values the
+			// front end assigned at fetch are reproduced exactly:
+			// dispatch is in fetch order and both counters start at 0.)
+			if !u.Renamed {
+				u.Thread = th.id
+				u.Seq = e.seq
+				e.seq++
+			}
+			th.ren.Rename(u, c)
+			if !e.q.Dispatch(c, u) {
+				e.stDispStallIQ.Inc()
+				break
+			}
+			th.rob.Push(u)
+			if u.Inst.Class.IsMem() {
+				th.lsq.Add(u)
+			}
+			th.fe.Pop()
+			width--
+		}
+	}
+}
+
+// Warm fast-forwards every context over the given per-context instruction
+// counts: cache lines are installed and the branch structures trained,
+// without advancing simulated time. It stands in for the paper's
+// 20-billion-instruction fast-forward to a checkpoint. The streams must
+// be the same objects the engine was built over.
+func (e *Engine) Warm(streams []trace.Stream, n int64) {
+	for ti, s := range streams {
+		if ti >= len(e.ctxs) {
+			break
+		}
+		th := e.ctxs[ti]
+		for i := int64(0); i < n; i++ {
+			in, ok := s.Next()
+			if !ok {
+				break
+			}
+			e.hier.WarmInst(in.PC)
+			if in.Class.IsMem() {
+				e.hier.WarmData(in.Addr, in.Class == isa.Store)
+			}
+			th.fe.Train(in)
+		}
+	}
+}
+
+// run simulates until the total committed instructions reach the budget
+// (or every trace drains). A safety valve aborts pathologically stuck
+// runs.
+func (e *Engine) run(maxInstructions int64) error {
+	if maxInstructions < 1 {
+		return fmt.Errorf("sim: instruction budget %d", maxInstructions)
+	}
+	limit := maxInstructions*400 + 1_000_000
+	for e.Committed() < maxInstructions {
+		allDone := true
+		for _, th := range e.ctxs {
+			if !th.fe.Done() || th.rob.Len() > 0 {
+				allDone = false
+			}
+		}
+		if allDone {
+			break // finite traces fully drained
+		}
+		if e.cycle > limit {
+			if len(e.ctxs) == 1 {
+				return fmt.Errorf("sim: no forward progress after %d cycles (%d/%d committed, %s on %s)",
+					e.cycle, e.Committed(), maxInstructions, e.q.Name(), e.ctxs[0].workload)
+			}
+			return fmt.Errorf("sim: SMT run stuck after %d cycles (%d/%d committed)",
+				e.cycle, e.Committed(), maxInstructions)
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// Debug prints internal machine state; used by diagnostic tools.
+func (e *Engine) Debug() {
+	for _, th := range e.ctxs {
+		fmt.Printf("ctx%d: inExec=%d eqLen=%d lsqBusy=%v lsqLen=%d robLen=%d feBuf=%d feDone=%v\n",
+			th.id, e.inExec, e.hier.EQ.Len(), th.lsq.Busy(), th.lsq.Len(), th.rob.Len(), th.fe.BufLen(), th.fe.Done())
+		if h := th.rob.Head(); h != nil {
+			fmt.Printf("rob head: %s EADone=%d memkind=%d\n", h.String(), h.EADone, h.MemKind)
+			for j := 0; j < 2; j++ {
+				if pr := h.Prod[j]; pr != nil {
+					fmt.Printf("  prod%d: %s EADone=%d kind=%d\n", j, pr.String(), pr.EADone, pr.MemKind)
+				}
+			}
+		}
+	}
+}
+
+// ROBHead exposes the oldest in-flight instruction of the first context;
+// diagnostic use only.
+func (e *Engine) ROBHead() *uop.UOp { return e.ctxs[0].rob.Head() }

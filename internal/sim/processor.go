@@ -1,16 +1,8 @@
 package sim
 
 import (
-	"fmt"
-
-	"repro/internal/bpred"
-	"repro/internal/iq"
-	"repro/internal/isa"
-	"repro/internal/mem"
-	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/uop"
 )
 
 // Result reports a completed simulation.
@@ -24,97 +16,19 @@ type Result struct {
 }
 
 // Processor is one simulated core: the Table 1 pipeline around a
-// pluggable instruction queue.
+// pluggable instruction queue. It is an Engine with a single hardware
+// context and the single-threaded result report.
 type Processor struct {
-	cfg Config
-	q   iq.Queue
-
-	hier *mem.Hierarchy
-	fe   *pipeline.FrontEnd
-	ren  *pipeline.Renamer
-	rob  *pipeline.ROB
-	lsq  *pipeline.LSQ
-	fus  *pipeline.FUPool
-
-	cycle     int64
-	committed int64
-	inExec    int // issued instructions whose results are outstanding
-
-	// Per-cycle and per-instruction callbacks, bound once at construction
-	// so the cycle loop schedules no fresh closures. tryIssueFn reads
-	// p.cycle, which equals the cycle being stepped throughout Step.
-	commitFn   func(*uop.UOp)
-	tryIssueFn func(*uop.UOp) bool
-	execDoneFn func(now int64, arg any) // EA done for loads: leave execution
-	wbDoneFn   func(now int64, arg any) // completion: leave execution + writeback
-
-	// Per-run statistics.
-	stIssued       stats.Counter
-	stCommitted    stats.Counter
-	stDispStallROB stats.Counter
-	stDispStallLSQ stats.Counter
-	stDispStallIQ  stats.Counter
-	stRobOcc       stats.Mean
-	workload       string
+	*Engine
 }
 
 // New builds a processor over the given workload stream.
 func New(cfg Config, stream trace.Stream) (*Processor, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	q, err := cfg.buildQueue()
+	e, err := NewEngine(cfg, []trace.Stream{stream})
 	if err != nil {
 		return nil, err
 	}
-	hier, err := mem.NewHierarchy(cfg.Memory)
-	if err != nil {
-		return nil, err
-	}
-	bp, err := bpred.NewPredictor(cfg.BranchPredictor)
-	if err != nil {
-		return nil, err
-	}
-	btb, err := bpred.NewBTB(cfg.BTBEntries, cfg.BTBWays)
-	if err != nil {
-		return nil, err
-	}
-	feCfg := pipeline.FrontEndConfig{
-		FetchWidth:       cfg.FetchWidth,
-		MaxBranches:      cfg.MaxBranches,
-		FetchToDecode:    cfg.FetchToDecode,
-		DecodeToDispatch: cfg.DecodeToDispatch,
-		ExtraDispatch:    q.ExtraDispatchStages(),
-		BufferCap:        (cfg.FetchToDecode + cfg.DecodeToDispatch + 10) * cfg.FetchWidth,
-	}
-	p := &Processor{
-		cfg:      cfg,
-		q:        q,
-		hier:     hier,
-		fe:       pipeline.NewFrontEnd(feCfg, stream, bp, btb, hier.L1I),
-		ren:      pipeline.NewRenamer(),
-		rob:      pipeline.NewROB(cfg.ROBSize),
-		fus:      pipeline.NewFUPool(cfg.FUPerClass),
-		workload: stream.Name(),
-	}
-	p.lsq = pipeline.NewLSQ(cfg.LSQSize, hier.L1D, hier.EQ, q, cfg.CacheRdPorts, cfg.CacheWrPorts)
-	p.commitFn = func(u *uop.UOp) {
-		p.committed++
-		p.stCommitted.Inc()
-		switch {
-		case u.IsStore():
-			p.lsq.CommitStore(u)
-		case u.IsLoad():
-			p.lsq.Remove(u)
-		}
-	}
-	p.tryIssueFn = func(u *uop.UOp) bool { return p.fus.TryIssue(p.cycle, u) }
-	p.execDoneFn = func(now int64, arg any) { p.inExec-- }
-	p.wbDoneFn = func(now int64, arg any) {
-		p.inExec--
-		p.q.Writeback(now, arg.(*uop.UOp))
-	}
-	return p, nil
+	return &Processor{Engine: e}, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -126,106 +40,6 @@ func MustNew(cfg Config, stream trace.Stream) *Processor {
 	return p
 }
 
-// Queue exposes the scheduler under test.
-func (p *Processor) Queue() iq.Queue { return p.q }
-
-// Cycle returns the current cycle number.
-func (p *Processor) Cycle() int64 { return p.cycle }
-
-// Committed returns the number of retired instructions.
-func (p *Processor) Committed() int64 { return p.committed }
-
-// Step advances the machine one cycle.
-func (p *Processor) Step() {
-	c := p.cycle
-
-	// 1. Memory system and scheduled core events (completions,
-	//    writebacks, chain suspensions).
-	p.hier.Tick(c)
-
-	// 2. Commit, in order, up to the commit width.
-	commits := p.rob.Commit(c, p.cfg.CommitWidth, p.commitFn)
-
-	// 3. Scheduler-internal work: wire propagation, promotion, pushdown,
-	//    deadlock recovery, or array advance.
-	p.q.BeginCycle(c)
-
-	// 4. Issue and begin execution.
-	p.issue(c)
-
-	// 5. The LSQ starts eligible cache accesses and drains retired
-	//    stores.
-	p.lsq.Tick(c)
-
-	// 6. In-order dispatch from the front-end buffer.
-	p.dispatch(c)
-
-	// 7. Fetch.
-	p.fe.Fetch(c)
-
-	// 8. Deadlock bookkeeping.
-	active := p.inExec > 0 || p.hier.EQ.Len() > 0 || p.lsq.Busy() || commits > 0
-	p.q.EndCycle(c, active)
-
-	p.stRobOcc.Observe(float64(p.rob.Len()))
-	p.cycle++
-}
-
-func (p *Processor) issue(c int64) {
-	issued := p.q.Issue(c, p.cfg.IssueWidth, p.tryIssueFn)
-	p.stIssued.Add(uint64(len(issued)))
-	for _, u := range issued {
-		lat := int64(u.Latency())
-		p.inExec++
-		switch {
-		case u.IsLoad():
-			// The EA calculation finishes after one cycle; the LSQ takes
-			// over. A load waiting in the LSQ is *not* "in execution" —
-			// it may be blocked on the IQ's own progress, and counting it
-			// would mask the deadlocks §4.5 recovers from. Its memory
-			// traffic keeps the machine active through the event queue.
-			u.EADone = c + lat
-			p.hier.EQ.ScheduleArg(u.EADone, p.execDoneFn, nil)
-		case u.IsStore():
-			// Retirement (Complete) is set by the LSQ once the data is
-			// also ready; the chain writeback happens at EA completion
-			// (stores produce no register value).
-			u.EADone = c + lat
-			p.hier.EQ.ScheduleArg(u.EADone, p.wbDoneFn, u)
-		default:
-			u.Complete = c + lat
-			p.hier.EQ.ScheduleArg(u.Complete, p.wbDoneFn, u)
-		}
-	}
-}
-
-func (p *Processor) dispatch(c int64) {
-	for n := 0; n < p.cfg.DispatchWidth; n++ {
-		u := p.fe.NextReady(c)
-		if u == nil {
-			return
-		}
-		if p.rob.Full() {
-			p.stDispStallROB.Inc()
-			return
-		}
-		if u.Inst.Class.IsMem() && p.lsq.Full() {
-			p.stDispStallLSQ.Inc()
-			return
-		}
-		p.ren.Rename(u, c)
-		if !p.q.Dispatch(c, u) {
-			p.stDispStallIQ.Inc()
-			return
-		}
-		p.rob.Push(u)
-		if u.Inst.Class.IsMem() {
-			p.lsq.Add(u)
-		}
-		p.fe.Pop()
-	}
-}
-
 // Warm consumes n instructions from s — which must replay the same
 // deterministic stream the processor will execute — installing their
 // cache lines and training the branch structures, without advancing
@@ -233,85 +47,67 @@ func (p *Processor) dispatch(c int64) {
 // fast-forward to a checkpoint: short measured samples then start from a
 // steady state instead of a cold machine.
 func (p *Processor) Warm(s trace.Stream, n int64) {
-	for i := int64(0); i < n; i++ {
-		in, ok := s.Next()
-		if !ok {
-			return
-		}
-		p.hier.WarmInst(in.PC)
-		if in.Class.IsMem() {
-			p.hier.WarmData(in.Addr, in.Class == isa.Store)
-		}
-		p.fe.Train(in)
-	}
+	p.Engine.Warm([]trace.Stream{s}, n)
 }
 
 // Run simulates until maxInstructions commit (or the trace drains) and
-// returns the results. A safety valve aborts pathologically stuck runs.
+// returns the results.
 func (p *Processor) Run(maxInstructions int64) (*Result, error) {
-	if maxInstructions < 1 {
-		return nil, fmt.Errorf("sim: instruction budget %d", maxInstructions)
-	}
-	limit := maxInstructions*400 + 1_000_000
-	for p.committed < maxInstructions {
-		if p.fe.Done() && p.rob.Len() == 0 {
-			break // finite trace fully drained
-		}
-		if p.cycle > limit {
-			return nil, fmt.Errorf("sim: no forward progress after %d cycles (%d/%d committed, %s on %s)",
-				p.cycle, p.committed, maxInstructions, p.q.Name(), p.workload)
-		}
-		p.Step()
+	if err := p.Engine.run(maxInstructions); err != nil {
+		return nil, err
 	}
 	return p.result(), nil
 }
 
 func (p *Processor) result() *Result {
+	e := p.Engine
+	th := e.ctxs[0]
 	s := stats.NewSet()
-	cycles := p.cycle
+	committed := e.Committed()
+	cycles := e.cycle
 	if cycles == 0 {
 		cycles = 1
 	}
-	ipc := float64(p.committed) / float64(cycles)
-	s.Put("cycles", float64(p.cycle))
-	s.Put("instructions", float64(p.committed))
+	ipc := float64(committed) / float64(cycles)
+	s.Put("cycles", float64(e.cycle))
+	s.Put("instructions", float64(committed))
 	s.Put("ipc", ipc)
-	s.Put("issued", float64(p.stIssued.Value()))
-	s.Put("rob_occupancy_avg", p.stRobOcc.Value())
-	s.Put("dispatch_stall_rob", float64(p.stDispStallROB.Value()))
-	s.Put("dispatch_stall_lsq", float64(p.stDispStallLSQ.Value()))
-	s.Put("dispatch_stall_iq", float64(p.stDispStallIQ.Value()))
+	s.Put("issued", float64(e.stIssued.Value()))
+	s.Put("rob_occupancy_avg", e.stRobOcc.Value())
+	s.Put("dispatch_stall_rob", float64(e.stDispStallROB.Value()))
+	s.Put("dispatch_stall_lsq", float64(e.stDispStallLSQ.Value()))
+	s.Put("dispatch_stall_iq", float64(e.stDispStallIQ.Value()))
 
-	s.Put("fetched", float64(p.fe.Fetched()))
-	s.Put("branches", float64(p.fe.Branches()))
-	s.Put("branch_mispredicts", float64(p.fe.Mispredicts()))
-	s.Put("branch_mispredict_rate", stats.Ratio(p.fe.Mispredicts(), p.fe.Branches()))
-	s.Put("btb_misses", float64(p.fe.BTBMisses()))
-	s.Put("fetch_stall_branch", float64(p.fe.BranchStallCycles()))
-	s.Put("fetch_stall_icache", float64(p.fe.ICacheStallCycles()))
+	s.Put("fetched", float64(th.fe.Fetched()))
+	s.Put("branches", float64(th.fe.Branches()))
+	s.Put("branch_mispredicts", float64(th.fe.Mispredicts()))
+	s.Put("branch_mispredict_rate", stats.Ratio(th.fe.Mispredicts(), th.fe.Branches()))
+	s.Put("btb_misses", float64(th.fe.BTBMisses()))
+	s.Put("fetch_stall_branch", float64(th.fe.BranchStallCycles()))
+	s.Put("fetch_stall_icache", float64(th.fe.ICacheStallCycles()))
 
-	s.Put("lsq_forwards", float64(p.lsq.Forwards()))
-	s.Put("lsq_mshr_rejects", float64(p.lsq.MSHRRejects()))
-	s.Put("lsq_loads", float64(p.lsq.LoadsIssued()))
-	s.Put("lsq_store_writes", float64(p.lsq.StoreWrites()))
-	s.Put("fu_structural_stalls", float64(p.fus.StructuralStalls()))
+	s.Put("lsq_forwards", float64(th.lsq.Forwards()))
+	s.Put("lsq_mshr_rejects", float64(th.lsq.MSHRRejects()))
+	s.Put("lsq_loads", float64(th.lsq.LoadsIssued()))
+	s.Put("lsq_store_writes", float64(th.lsq.StoreWrites()))
+	s.Put("fu_structural_stalls", float64(e.fus.StructuralStalls()))
 
-	d := p.hier.L1D.Stats()
+	d := e.hier.L1D.Stats()
 	s.Put("l1d_accesses", float64(d.Accesses))
 	s.Put("l1d_miss_rate", d.MissRate())
 	s.Put("l1d_delayed_hits", float64(d.DelayedHits))
-	l2 := p.hier.L2.Stats()
+	l2 := e.hier.L2.Stats()
 	s.Put("l2_accesses", float64(l2.Accesses))
 	s.Put("l2_miss_rate", l2.MissRate())
-	s.Put("mem_fetches", float64(p.hier.Mem.Fetches()))
+	s.Put("mem_fetches", float64(e.hier.Mem.Fetches()))
 
-	p.q.CollectStats(s)
+	e.q.CollectStats(s)
 
 	return &Result{
-		Workload:     p.workload,
-		QueueName:    p.q.Name(),
-		Instructions: p.committed,
-		Cycles:       p.cycle,
+		Workload:     th.workload,
+		QueueName:    e.q.Name(),
+		Instructions: committed,
+		Cycles:       e.cycle,
 		IPC:          ipc,
 		Stats:        s,
 	}
@@ -342,20 +138,3 @@ func RunWorkloadWarm(cfg Config, workload string, seed uint64, n, warm int64) (*
 	}
 	return p.Run(n)
 }
-
-// Debug prints internal machine state; used by diagnostic tools.
-func (p *Processor) Debug() {
-	fmt.Printf("inExec=%d eqLen=%d lsqBusy=%v lsqLen=%d robLen=%d feBuf=%d feDone=%v\n",
-		p.inExec, p.hier.EQ.Len(), p.lsq.Busy(), p.lsq.Len(), p.rob.Len(), p.fe.BufLen(), p.fe.Done())
-	if h := p.rob.Head(); h != nil {
-		fmt.Printf("rob head: %s EADone=%d memkind=%d\n", h.String(), h.EADone, h.MemKind)
-		for j := 0; j < 2; j++ {
-			if pr := h.Prod[j]; pr != nil {
-				fmt.Printf("  prod%d: %s EADone=%d kind=%d\n", j, pr.String(), pr.EADone, pr.MemKind)
-			}
-		}
-	}
-}
-
-// ROBHead exposes the oldest in-flight instruction; diagnostic use only.
-func (p *Processor) ROBHead() *uop.UOp { return p.rob.Head() }

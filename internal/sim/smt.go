@@ -3,162 +3,30 @@ package sim
 import (
 	"fmt"
 
-	"repro/internal/bpred"
-	"repro/internal/core"
-	"repro/internal/distiq"
-	"repro/internal/iq"
-	"repro/internal/isa"
-	"repro/internal/mem"
-	"repro/internal/pipeline"
-	"repro/internal/presched"
 	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/uop"
 )
 
 // SMTProcessor implements the paper's §7 future-work direction: a
 // simultaneous-multithreading machine sharing one instruction queue,
 // function units and memory hierarchy among several hardware contexts.
-// Each context has its own front end (with private branch predictor and
-// BTB state), renamer, reorder buffer and load/store queue; fetch and
-// dispatch bandwidth rotate round-robin among contexts; commit bandwidth
-// is shared. Chains from independent threads interleave freely in the
-// segmented queue — the property §7 argues lets it exploit thread-level
-// parallelism where quasi-static schemes cannot.
+// It is an Engine with one context per stream and the SMT result report;
+// the pipeline itself lives entirely in Engine.
 type SMTProcessor struct {
-	cfg Config
-	q   iq.Queue
-
-	hier *mem.Hierarchy
-	fus  *pipeline.FUPool
-
-	threads []*smtThread
-
-	cycle  int64
-	inExec int
-	seq    int64
-
-	// Bound once at construction: the issue loop's callbacks (see
-	// Processor). tryIssueFn reads p.cycle, valid throughout Step.
-	tryIssueFn func(*uop.UOp) bool
-	execDoneFn func(now int64, arg any)
-	wbDoneFn   func(now int64, arg any)
-
-	stIssued stats.Counter
-}
-
-type smtThread struct {
-	id  int
-	fe  *pipeline.FrontEnd
-	ren *pipeline.Renamer
-	rob *pipeline.ROB
-	lsq *pipeline.LSQ
-
-	workload  string
-	committed int64
-
-	// commitFn is the ROB commit callback, bound once per thread.
-	commitFn func(*uop.UOp)
+	*Engine
 }
 
 // NewSMT builds an SMT machine over the given workload streams (one per
-// hardware context). The ROB and LSQ capacities of cfg are divided evenly
-// among the contexts; all other resources are shared. The queue design
-// must be thread-aware (its per-register tables are replicated per
-// context automatically).
+// hardware context). With more than one context the ROB and LSQ
+// capacities of cfg are divided evenly among the contexts; all other
+// resources are shared. The queue design's per-register tables are
+// replicated per context automatically.
 func NewSMT(cfg Config, streams []trace.Stream) (*SMTProcessor, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	n := len(streams)
-	if n < 1 {
-		return nil, fmt.Errorf("sim: SMT needs at least one stream")
-	}
-	// Replicate per-thread tables inside the queue designs.
-	switch cfg.Queue {
-	case QueueSegmented:
-		if cfg.Segmented.Segments == 0 {
-			cfg.Segmented = core.DefaultConfig(cfg.QueueSize, 0)
-		}
-		cfg.Segmented.Threads = n
-	case QueuePrescheduled:
-		if cfg.Presched.Lines == 0 {
-			cfg.Presched = presched.DefaultConfig(cfg.QueueSize)
-		}
-		cfg.Presched.Threads = n
-	case QueueDistance:
-		if cfg.Distance.Lines == 0 {
-			cfg.Distance = distiq.DefaultConfig(cfg.QueueSize)
-		}
-		cfg.Distance.Threads = n
-	}
-	q, err := cfg.buildQueue()
+	e, err := NewEngine(cfg, streams)
 	if err != nil {
 		return nil, err
 	}
-	hier, err := mem.NewHierarchy(cfg.Memory)
-	if err != nil {
-		return nil, err
-	}
-	p := &SMTProcessor{
-		cfg:  cfg,
-		q:    q,
-		hier: hier,
-		fus:  pipeline.NewFUPool(cfg.FUPerClass),
-	}
-	robEach := cfg.ROBSize / n
-	if robEach < 8 {
-		robEach = 8
-	}
-	lsqEach := cfg.LSQSize / n
-	if lsqEach < 4 {
-		lsqEach = 4
-	}
-	for i, s := range streams {
-		bp, err := bpred.NewPredictor(cfg.BranchPredictor)
-		if err != nil {
-			return nil, err
-		}
-		btb, err := bpred.NewBTB(cfg.BTBEntries, cfg.BTBWays)
-		if err != nil {
-			return nil, err
-		}
-		feCfg := pipeline.FrontEndConfig{
-			FetchWidth:       cfg.FetchWidth,
-			MaxBranches:      cfg.MaxBranches,
-			FetchToDecode:    cfg.FetchToDecode,
-			DecodeToDispatch: cfg.DecodeToDispatch,
-			ExtraDispatch:    q.ExtraDispatchStages(),
-			BufferCap:        (cfg.FetchToDecode + cfg.DecodeToDispatch + 10) * cfg.FetchWidth,
-		}
-		th := &smtThread{
-			id:       i,
-			fe:       pipeline.NewFrontEnd(feCfg, s, bp, btb, hier.L1I),
-			ren:      pipeline.NewRenamer(),
-			rob:      pipeline.NewROB(robEach),
-			workload: s.Name(),
-		}
-		th.lsq = pipeline.NewLSQ(lsqEach, hier.L1D, hier.EQ, q, cfg.CacheRdPorts, cfg.CacheWrPorts)
-		th.commitFn = func(u *uop.UOp) {
-			th.committed++
-			switch {
-			case u.IsStore():
-				th.lsq.CommitStore(u)
-			case u.IsLoad():
-				th.lsq.Remove(u)
-			}
-		}
-		p.threads = append(p.threads, th)
-	}
-	p.tryIssueFn = func(u *uop.UOp) bool { return p.fus.TryIssue(p.cycle, u) }
-	p.execDoneFn = func(now int64, arg any) { p.inExec-- }
-	p.wbDoneFn = func(now int64, arg any) {
-		p.inExec--
-		p.q.Writeback(now, arg.(*uop.UOp))
-	}
-	// Thread-tag every fetched instruction by wrapping... fetch assigns
-	// sequence numbers per front end; retag at dispatch instead.
-	return p, nil
+	return &SMTProcessor{Engine: e}, nil
 }
 
 // MustNewSMT is NewSMT for known-good configurations.
@@ -168,145 +36,6 @@ func MustNewSMT(cfg Config, streams []trace.Stream) *SMTProcessor {
 		panic(err)
 	}
 	return p
-}
-
-// Committed returns the total instructions retired across all contexts.
-func (p *SMTProcessor) Committed() int64 {
-	var sum int64
-	for _, th := range p.threads {
-		sum += th.committed
-	}
-	return sum
-}
-
-// Cycle returns the current cycle.
-func (p *SMTProcessor) Cycle() int64 { return p.cycle }
-
-// Queue exposes the shared scheduler.
-func (p *SMTProcessor) Queue() iq.Queue { return p.q }
-
-// Step advances the machine one cycle.
-func (p *SMTProcessor) Step() {
-	c := p.cycle
-	n := len(p.threads)
-	p.hier.Tick(c)
-
-	// Commit: shared bandwidth, rotating priority.
-	commits := 0
-	width := p.cfg.CommitWidth
-	for i := 0; i < n && width > 0; i++ {
-		th := p.threads[(int(c)+i)%n]
-		done := th.rob.Commit(c, width, th.commitFn)
-		commits += done
-		width -= done
-	}
-
-	p.q.BeginCycle(c)
-	p.issue(c)
-	for _, th := range p.threads {
-		th.lsq.Tick(c)
-	}
-	p.dispatch(c)
-	// Fetch: round-robin, one context per cycle at full width (RR.1.8).
-	// A context stalled on a misprediction or I-cache miss yields the
-	// port to the next one.
-	for i := 0; i < n; i++ {
-		th := p.threads[(int(c)+i)%n]
-		before := th.fe.BufLen()
-		th.fe.Fetch(c)
-		if th.fe.BufLen() != before || th.fe.Done() {
-			break
-		}
-	}
-
-	active := p.inExec > 0 || p.hier.EQ.Len() > 0 || commits > 0
-	for _, th := range p.threads {
-		active = active || th.lsq.Busy()
-	}
-	p.q.EndCycle(c, active)
-	p.cycle++
-}
-
-func (p *SMTProcessor) issue(c int64) {
-	issued := p.q.Issue(c, p.cfg.IssueWidth, p.tryIssueFn)
-	p.stIssued.Add(uint64(len(issued)))
-	for _, u := range issued {
-		lat := int64(u.Latency())
-		p.inExec++
-		switch {
-		case u.IsLoad():
-			u.EADone = c + lat
-			p.hier.EQ.ScheduleArg(u.EADone, p.execDoneFn, nil)
-		case u.IsStore():
-			u.EADone = c + lat
-			p.hier.EQ.ScheduleArg(u.EADone, p.wbDoneFn, u)
-		default:
-			u.Complete = c + lat
-			p.hier.EQ.ScheduleArg(u.Complete, p.wbDoneFn, u)
-		}
-	}
-}
-
-// dispatch shares the dispatch width round-robin: each context advances
-// in order; a context that stalls yields the remaining slots.
-func (p *SMTProcessor) dispatch(c int64) {
-	n := len(p.threads)
-	width := p.cfg.DispatchWidth
-	for i := 0; i < n && width > 0; i++ {
-		th := p.threads[(int(c)+i)%n]
-		for width > 0 {
-			u := th.fe.NextReady(c)
-			if u == nil {
-				break
-			}
-			if th.rob.Full() {
-				break
-			}
-			if u.Inst.Class.IsMem() && th.lsq.Full() {
-				break
-			}
-			// Retag with a globally unique, age-ordered sequence number
-			// and the owning context.
-			if !u.Renamed {
-				u.Thread = th.id
-				u.Seq = p.seq
-				p.seq++
-			}
-			th.ren.Rename(u, c)
-			if !p.q.Dispatch(c, u) {
-				break
-			}
-			th.rob.Push(u)
-			if u.Inst.Class.IsMem() {
-				th.lsq.Add(u)
-			}
-			th.fe.Pop()
-			width--
-		}
-	}
-}
-
-// Warm fast-forwards every context over the given per-thread instruction
-// counts (cache lines and branch training; see Processor.Warm). The
-// streams must be the same objects passed to NewSMT.
-func (p *SMTProcessor) Warm(streams []trace.Stream, n int64) {
-	for ti, s := range streams {
-		if ti >= len(p.threads) {
-			break
-		}
-		th := p.threads[ti]
-		for i := int64(0); i < n; i++ {
-			in, ok := s.Next()
-			if !ok {
-				break
-			}
-			p.hier.WarmInst(in.PC)
-			if in.Class.IsMem() {
-				p.hier.WarmData(in.Addr, in.Class == isa.Store)
-			}
-			th.fe.Train(in)
-		}
-	}
 }
 
 // SMTResult reports an SMT run: aggregate throughput plus per-thread
@@ -322,52 +51,40 @@ type SMTResult struct {
 
 // Run simulates until the total committed instructions reach the budget.
 func (p *SMTProcessor) Run(maxInstructions int64) (*SMTResult, error) {
-	if maxInstructions < 1 {
-		return nil, fmt.Errorf("sim: instruction budget %d", maxInstructions)
+	if err := p.Engine.run(maxInstructions); err != nil {
+		return nil, err
 	}
-	limit := maxInstructions*400 + 1_000_000
-	for p.Committed() < maxInstructions {
-		allDone := true
-		for _, th := range p.threads {
-			if !th.fe.Done() || th.rob.Len() > 0 {
-				allDone = false
-			}
-		}
-		if allDone {
-			break
-		}
-		if p.cycle > limit {
-			return nil, fmt.Errorf("sim: SMT run stuck after %d cycles (%d/%d committed)",
-				p.cycle, p.Committed(), maxInstructions)
-		}
-		p.Step()
-	}
+	return p.smtResult(), nil
+}
+
+func (p *SMTProcessor) smtResult() *SMTResult {
+	e := p.Engine
 	s := stats.NewSet()
-	total := p.Committed()
-	cycles := p.cycle
+	total := e.Committed()
+	cycles := e.cycle
 	if cycles == 0 {
 		cycles = 1
 	}
-	s.Put("cycles", float64(p.cycle))
+	s.Put("cycles", float64(e.cycle))
 	s.Put("instructions", float64(total))
 	s.Put("ipc", float64(total)/float64(cycles))
-	s.Put("issued", float64(p.stIssued.Value()))
-	for _, th := range p.threads {
+	s.Put("issued", float64(e.stIssued.Value()))
+	for _, th := range e.ctxs {
 		s.Put(fmt.Sprintf("thread%d_committed", th.id), float64(th.committed))
 		s.Put(fmt.Sprintf("thread%d_mispredicts", th.id), float64(th.fe.Mispredicts()))
 	}
-	p.q.CollectStats(s)
+	e.q.CollectStats(s)
 	res := &SMTResult{
-		Cycles:       p.cycle,
+		Cycles:       e.cycle,
 		Instructions: total,
 		IPC:          float64(total) / float64(cycles),
 		Stats:        s,
 	}
-	for _, th := range p.threads {
+	for _, th := range e.ctxs {
 		res.PerThread = append(res.PerThread, th.committed)
 		res.Workloads = append(res.Workloads, th.workload)
 	}
-	return res, nil
+	return res
 }
 
 // RunSMT is the convenience entry point: build the named workloads,

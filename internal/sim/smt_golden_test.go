@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The SMT golden numbers below were captured from the pre-unification
+// SMTProcessor (PR 1 tree) and pin that the multi-context engine
+// reproduces its cycle-exact behaviour for 2- and 4-thread mixes. Any
+// change here is a behaviour change of the shared-queue SMT model and
+// needs the same scrutiny as the single-thread golden numbers.
+func TestSMTGoldenCycleCounts(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       Config
+		workloads []string
+		n, warm   int64
+
+		cycles       int64
+		instructions int64
+		perThread    []int64
+	}{
+		{
+			name:      "segmented2_swim_gcc",
+			cfg:       SegmentedConfig(256, 64, true, true),
+			workloads: []string{"swim", "gcc"},
+			n:         16000, warm: 50000,
+			cycles: 9702, instructions: 16005,
+			perThread: []int64{12656, 3349},
+		},
+		{
+			name:      "segmented4_swim_gcc",
+			cfg:       SegmentedConfig(256, 64, true, true),
+			workloads: []string{"swim", "gcc", "swim", "gcc"},
+			n:         32000, warm: 50000,
+			cycles: 16052, instructions: 32000,
+			perThread: []int64{12240, 3810, 12235, 3715},
+		},
+		{
+			name:      "ideal2_swim_gcc",
+			cfg:       DefaultConfig(QueueIdeal, 256),
+			workloads: []string{"swim", "gcc"},
+			n:         16000, warm: 50000,
+			cycles: 7619, instructions: 16002,
+			perThread: []int64{12145, 3857},
+		},
+		{
+			name:      "ideal4_swim_gcc",
+			cfg:       DefaultConfig(QueueIdeal, 256),
+			workloads: []string{"swim", "gcc", "swim", "gcc"},
+			n:         32000, warm: 50000,
+			cycles: 10794, instructions: 32007,
+			perThread: []int64{10443, 5647, 10443, 5474},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunSMT(tc.cfg, tc.workloads, 1, tc.n, tc.warm)
+			if err != nil {
+				t.Fatalf("RunSMT: %v", err)
+			}
+			if res.Cycles != tc.cycles {
+				t.Errorf("cycles = %d, want %d", res.Cycles, tc.cycles)
+			}
+			if res.Instructions != tc.instructions {
+				t.Errorf("instructions = %d, want %d", res.Instructions, tc.instructions)
+			}
+			if !reflect.DeepEqual(res.PerThread, tc.perThread) {
+				t.Errorf("per-thread = %v, want %v", res.PerThread, tc.perThread)
+			}
+		})
+	}
+}

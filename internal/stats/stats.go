@@ -160,6 +160,13 @@ func (d *Dist) Fraction(i int) float64 {
 	return float64(d.Bucket(i)) / float64(d.total)
 }
 
+// Clone returns an independent copy of the distribution.
+func (d *Dist) Clone() *Dist {
+	n := &Dist{buckets: make([]uint64, len(d.buckets)), total: d.total, sum: d.sum}
+	copy(n.buckets, d.buckets)
+	return n
+}
+
 // Ratio is a hits/total style rate with safe division.
 func Ratio(num, den uint64) float64 {
 	if den == 0 {
@@ -209,6 +216,22 @@ func (s *Set) MustGet(name string) float64 {
 		return 0
 	}
 	return v
+}
+
+// Clone returns an independent copy of the set, including any recorded
+// warnings.
+func (s *Set) Clone() *Set {
+	n := &Set{
+		names:  append([]string(nil), s.names...),
+		values: make(map[string]float64, len(s.values)),
+	}
+	for k, v := range s.values {
+		n.values[k] = v
+	}
+	if len(s.warnings) > 0 {
+		n.warnings = append([]string(nil), s.warnings...)
+	}
+	return n
 }
 
 // Warnings returns the messages recorded for statistics that were

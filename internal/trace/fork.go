@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/isa"
+)
+
+// Forkable is a stream whose position can be duplicated: Fork returns an
+// independent stream that continues from the same point. Machine
+// checkpoints require their streams to be forkable so that every run
+// forked from the checkpoint replays the same instruction suffix.
+type Forkable interface {
+	Stream
+	Fork() Stream
+}
+
+// forkChunk is the number of instructions memoised per chunk. Chunks are
+// allocated lazily as the leading cursor advances.
+const forkChunk = 1 << 12
+
+// ForkSource memoises an underlying stream so that any number of cursors
+// can replay it, each at its own position, from concurrent goroutines.
+// The underlying stream is only ever pulled by the leading cursor, under
+// a mutex; trailing cursors read the memo lock-free. Publication is via
+// an atomic instruction count: a cursor may read memo slot i only after
+// observing count > i, which orders the read after the slot's write.
+type ForkSource struct {
+	name string
+
+	mu   sync.Mutex // guards base and memo extension
+	base Stream
+
+	chunks atomic.Pointer[[]*[forkChunk]isa.Inst]
+	count  atomic.Int64 // instructions memoised and published
+	end    atomic.Int64 // position where base exhausted, or -1
+}
+
+// NewForkSource wraps base, whose position becomes the source's origin.
+// base must not be used directly afterwards.
+func NewForkSource(base Stream) *ForkSource {
+	s := &ForkSource{name: base.Name(), base: base}
+	s.end.Store(-1)
+	empty := make([]*[forkChunk]isa.Inst, 0)
+	s.chunks.Store(&empty)
+	return s
+}
+
+// Fork returns a new cursor positioned at the source's origin.
+func (s *ForkSource) Fork() *ForkCursor { return &ForkCursor{src: s} }
+
+// extend memoises instructions from base until target is covered (or the
+// base is exhausted).
+func (s *ForkSource) extend(target int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.count.Load() <= target && s.end.Load() < 0 {
+		n := s.count.Load()
+		in, ok := s.base.Next()
+		if !ok {
+			s.end.Store(n)
+			return
+		}
+		chunks := *s.chunks.Load()
+		if int(n/forkChunk) == len(chunks) {
+			nc := make([]*[forkChunk]isa.Inst, len(chunks)+1)
+			copy(nc, chunks)
+			nc[len(chunks)] = new([forkChunk]isa.Inst)
+			s.chunks.Store(&nc)
+			chunks = nc
+		}
+		chunks[n/forkChunk][n%forkChunk] = in
+		s.count.Add(1)
+	}
+}
+
+// TrimBefore releases the memo chunks wholly below pos, freeing the
+// warmup prefix once every future cursor is known to start at or after
+// pos. It must not be called concurrently with cursor reads; callers
+// trim once, between warming and forking.
+func (s *ForkSource) TrimBefore(pos int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunks := *s.chunks.Load()
+	nc := make([]*[forkChunk]isa.Inst, len(chunks))
+	copy(nc, chunks)
+	for i := 0; i < int(pos/forkChunk) && i < len(nc); i++ {
+		nc[i] = nil
+	}
+	s.chunks.Store(&nc)
+}
+
+// ForkCursor is one replay position over a ForkSource. It implements
+// Forkable; cursors on the same source may advance concurrently.
+type ForkCursor struct {
+	src *ForkSource
+	pos int64
+}
+
+// Name implements Stream.
+func (c *ForkCursor) Name() string { return c.src.name }
+
+// Pos returns the cursor's position relative to the source's origin.
+func (c *ForkCursor) Pos() int64 { return c.pos }
+
+// Fork implements Forkable: the new cursor continues from c's position.
+func (c *ForkCursor) Fork() Stream { return &ForkCursor{src: c.src, pos: c.pos} }
+
+// Next implements Stream.
+func (c *ForkCursor) Next() (isa.Inst, bool) {
+	for {
+		if n := c.src.count.Load(); c.pos < n {
+			chunks := *c.src.chunks.Load()
+			in := chunks[c.pos/forkChunk][c.pos%forkChunk]
+			c.pos++
+			return in, true
+		}
+		if end := c.src.end.Load(); end >= 0 && c.pos >= end {
+			return isa.Inst{}, false
+		}
+		c.src.extend(c.pos)
+	}
+}

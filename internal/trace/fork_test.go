@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForkCursorsReplayIdentically: cursors forked at different times all
+// see the same suffix, concurrently, matching a fresh reference stream.
+func TestForkCursorsReplayIdentically(t *testing.T) {
+	const n = 20_000
+	ref := Take(Limit(NewGcc(7), n), n)
+
+	src := NewForkSource(Limit(NewGcc(7), n))
+	lead := src.Fork()
+	// Advance the leading cursor partway, then fork trailers at its
+	// position and at the origin.
+	for i := 0; i < 5000; i++ {
+		if _, ok := lead.Next(); !ok {
+			t.Fatal("lead exhausted early")
+		}
+	}
+	mid := lead.Fork()
+	start := src.Fork()
+
+	var wg sync.WaitGroup
+	check := func(s Stream, from int) {
+		defer wg.Done()
+		for i := from; i < n; i++ {
+			in, ok := s.Next()
+			if !ok {
+				t.Errorf("cursor from %d exhausted at %d", from, i)
+				return
+			}
+			if in != ref[i] {
+				t.Errorf("cursor from %d diverged at %d", from, i)
+				return
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Errorf("cursor from %d did not exhaust", from)
+		}
+	}
+	wg.Add(3)
+	go check(lead, 5000)
+	go check(mid, 5000)
+	go check(start, 0)
+	wg.Wait()
+}
+
+// TestForkTrim: trimming the prefix below the fork point keeps later
+// reads intact.
+func TestForkTrim(t *testing.T) {
+	const warm, n = 9000, 12_000
+	ref := Take(Limit(NewSwim(3), n), n)
+	src := NewForkSource(Limit(NewSwim(3), n))
+	cur := src.Fork()
+	for i := 0; i < warm; i++ {
+		cur.Next()
+	}
+	src.TrimBefore(cur.Pos())
+	f := cur.Fork()
+	for i := warm; i < n; i++ {
+		in, ok := f.Next()
+		if !ok || in != ref[i] {
+			t.Fatalf("post-trim read diverged at %d (ok=%v)", i, ok)
+		}
+	}
+}
+
+var _ Forkable = (*ForkCursor)(nil)
