@@ -12,6 +12,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -215,6 +216,36 @@ func BenchmarkAblationInstantWires(b *testing.B) {
 // a loaded 512-entry segmented queue.
 func BenchmarkSegmentedQueueCycle(b *testing.B) {
 	q := core.MustNew(core.DefaultConfig(512, 128))
+	var seq int64
+	for i := 0; i < 400; i++ {
+		in := isa.Inst{Class: isa.IntAlu, Src1: isa.RegNone, Src2: isa.RegNone, Dest: 1 + i%20}
+		u := uop.New(seq, in)
+		seq++
+		if !q.Dispatch(0, u) {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := int64(i + 1)
+		q.BeginCycle(c)
+		for _, u := range q.Issue(c, 8, func(*uop.UOp) bool { return true }) {
+			u.Complete = c + 1
+			q.Writeback(c+1, u)
+			// Refill to keep the queue loaded.
+			nu := uop.New(seq, u.Inst)
+			seq++
+			q.Dispatch(c, nu)
+		}
+		q.EndCycle(c, true)
+	}
+}
+
+// BenchmarkConventionalQueueCycle measures the same round trip over the
+// conventional (ideal) queue, whose select runs straight off the ready
+// bitmap.
+func BenchmarkConventionalQueueCycle(b *testing.B) {
+	q := iq.NewConventional(512)
 	var seq int64
 	for i := 0; i < 400; i++ {
 		in := isa.Inst{Class: isa.IntAlu, Src1: isa.RegNone, Src2: isa.RegNone, Dest: 1 + i%20}

@@ -10,8 +10,8 @@
 //	iqbench -experiment fig2
 //	iqbench -experiment fig3 -n 100000 -warm 500000
 //	iqbench -experiment table2 -benchmarks swim,equake
-//	iqbench -perf-json BENCH_2.json # simulator performance baseline
-//	iqbench -perf-compare BENCH_2.json # fresh capture vs checked-in baseline
+//	iqbench -perf-json BENCH_3.json # simulator performance baseline
+//	iqbench -perf-compare auto      # fresh capture vs newest checked-in baseline
 package main
 
 import (
@@ -34,12 +34,20 @@ func main() {
 		benches     = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
 		par         = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		perfJSON    = flag.String("perf-json", "", "measure simulator performance (pinned workloads) and write a BENCH json baseline to this path, instead of running experiments")
-		perfCompare = flag.String("perf-compare", "", "measure simulator performance and compare against the BENCH json baseline at this path (warn-only), instead of running experiments")
+		perfCompare = flag.String("perf-compare", "", "measure simulator performance and compare against the BENCH json baseline at this path (warn-only), instead of running experiments; \"auto\" picks the highest-numbered BENCH_<n>.json in the current directory")
 		perfThresh  = flag.Float64("perf-threshold", 0.5, "tolerated fractional slowdown for -perf-compare (0.5 = 50%)")
 	)
 	flag.Parse()
 
 	if *perfJSON != "" || *perfCompare != "" {
+		if *perfCompare == "auto" {
+			latest, err := perf.LatestBaseline(".")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iqbench: %v\n", err)
+				os.Exit(1)
+			}
+			*perfCompare = latest
+		}
 		start := time.Now()
 		b := perf.Measure()
 		for _, w := range b.Workloads {

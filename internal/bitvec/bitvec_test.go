@@ -1,0 +1,104 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// model is a reference implementation: a plain bool slice.
+type model []bool
+
+func (m *model) insert(i int, v bool) {
+	*m = append(*m, false)
+	copy((*m)[i+1:], (*m)[i:])
+	(*m)[i] = v
+}
+
+func (m *model) remove(i int) {
+	copy((*m)[i:], (*m)[i+1:])
+	*m = (*m)[:len(*m)-1]
+}
+
+func (m model) count() int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func (m model) nextSet(i int) int {
+	for ; i < len(m); i++ {
+		if m[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// TestAgainstModel drives random insert/remove/set/clear sequences across
+// word boundaries and compares every observable against the bool-slice
+// model.
+func TestAgainstModel(t *testing.T) {
+	const capacity = 200 // > 3 words
+	r := &rng{s: 42}
+	w := New(capacity)
+	var m model
+
+	check := func(step int) {
+		t.Helper()
+		if got, want := Count(w), m.count(); got != want {
+			t.Fatalf("step %d: Count = %d, want %d", step, got, want)
+		}
+		if got, want := Any(w), m.count() > 0; got != want {
+			t.Fatalf("step %d: Any = %v, want %v", step, got, want)
+		}
+		for i := 0; i < len(m); i++ {
+			if Test(w, i) != m[i] {
+				t.Fatalf("step %d: bit %d = %v, want %v", step, i, Test(w, i), m[i])
+			}
+		}
+		for i := 0; i <= len(m); i++ {
+			if got, want := NextSet(w, i), m.nextSet(i); got != want {
+				t.Fatalf("step %d: NextSet(%d) = %d, want %d", step, i, got, want)
+			}
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		switch op := r.intn(4); {
+		case op == 0 && len(m) < capacity-1, len(m) == 0:
+			i := r.intn(len(m) + 1)
+			v := r.intn(2) == 0
+			Insert(w, i, v)
+			m.insert(i, v)
+		case op == 1:
+			i := r.intn(len(m))
+			Remove(w, i)
+			m.remove(i)
+		case op == 2:
+			i := r.intn(len(m))
+			Set(w, i)
+			m[i] = true
+		default:
+			i := r.intn(len(m))
+			v := r.intn(2) == 0
+			Assign(w, i, v)
+			m[i] = v
+		}
+		check(step)
+	}
+}

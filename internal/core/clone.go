@@ -64,20 +64,38 @@ func (e *entry) CloneIQ(clone *uop.UOp) any {
 func (q *SegmentedIQ) Clone(m *uop.CloneMap) iq.Queue {
 	n := new(SegmentedIQ)
 	*n = *q
-	n.readyScratch = nil
 	n.candScratch = nil
 	n.outScratch = nil
+	n.moveReady = nil
+	n.moveStore = nil
 	n.entryPool = nil
 	n.segs = make([][]*entry, len(q.segs))
+	// byID is rebuilt from the cloned segments: issued entries were
+	// untracked at issue, so the scoreboard never dereferences their
+	// (nil) slots.
+	n.byID = make([]*entry, len(q.byID))
 	for k, seg := range q.segs {
 		if seg == nil {
 			continue
 		}
 		ns := make([]*entry, len(seg))
 		for i, e := range seg {
-			ns[i] = m.Get(e.u).IQ.(*entry)
+			ne := m.Get(e.u).IQ.(*entry)
+			ns[i] = ne
+			n.byID[ne.id] = ne
 		}
 		n.segs[k] = ns
+	}
+	n.readyW = make([][]uint64, len(q.readyW))
+	n.storeW = make([][]uint64, len(q.storeW))
+	for k := range q.readyW {
+		n.readyW[k] = append([]uint64(nil), q.readyW[k]...)
+		n.storeW[k] = append([]uint64(nil), q.storeW[k]...)
+	}
+	n.sb = q.sb.Clone(m)
+	n.unresolved = make([]*uop.UOp, len(q.unresolved))
+	for i, u := range q.unresolved {
+		n.unresolved[i] = m.Get(u)
 	}
 	n.chains = q.chains.clone()
 	n.wires = q.wires.clone()

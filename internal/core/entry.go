@@ -56,6 +56,12 @@ func (cr *chainRef) tick() {
 type entry struct {
 	u   *uop.UOp
 	seg int
+	// id is the entry's stable scoreboard handle, assigned once and kept
+	// across pool recycling. pos is the entry's slot in its segment —
+	// segments are kept seq-sorted, so pos doubles as the entry's bit
+	// position in the segment's ready/store words.
+	id  int32
+	pos int32
 	// arrived is the cycle the entry entered its current segment (or was
 	// dispatched); it may not move again, or issue, in that same cycle.
 	arrived int64

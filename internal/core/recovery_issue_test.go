@@ -40,7 +40,10 @@ func TestRecoveryMovedEntryCannotIssueSameCycle(t *testing.T) {
 
 	// c's producer completes just before the recovery cycle: after
 	// recovery rotates c into segment 0 it is data-ready for cycle 3.
+	// The writeback call delivers the completion the way the pipeline
+	// would (the ghost was never dispatched, so it only wakes c).
 	ghostC.Complete = 2
+	q.Writeback(2, ghostC)
 
 	q.BeginCycle(3) // recovery: p recycled upward, c forced into segment 0
 	if collect(q).MustGet("deadlock_recoveries") != 1 {
@@ -65,6 +68,7 @@ func TestRecoveryMovedEntryCannotIssueSameCycle(t *testing.T) {
 	}
 	q.Writeback(5, c)
 	ghostP.Complete = 5
+	q.Writeback(5, ghostP)
 	for cyc := int64(5); q.Len() > 0 && cyc < 12; cyc++ {
 		q.BeginCycle(cyc)
 		for _, u := range q.Issue(cyc, 8, always) {
@@ -141,6 +145,7 @@ func TestRepeatedRecoveryKeepsSegmentsConsistent(t *testing.T) {
 	// Release the wedge: everything must drain cleanly, still without any
 	// segment-consistency panic.
 	ghost.Complete = 60
+	q.Writeback(60, ghost)
 	issued := 0
 	for cyc := int64(61); issued < len(wedged) && cyc < 200; cyc++ {
 		q.BeginCycle(cyc)

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
+	"repro/internal/bitvec"
 	"repro/internal/bpred"
 	"repro/internal/iq"
 	"repro/internal/isa"
@@ -25,12 +27,33 @@ type SegmentedIQ struct {
 	prevFree []int // per-segment free slots at the end of the previous cycle
 	total    int   // occupied slots across all segments
 
+	// Per-segment readiness scoreboard. Segments are kept seq-sorted, so
+	// readyW[k] bit i == "the i-th oldest instruction in segment k is
+	// issue-ready": selecting the oldest ready instruction is a
+	// TrailingZeros64 walk instead of a scan-and-sort. storeW marks store
+	// slots (their ready bit gates on the address operand only; the
+	// occupancy statistics correct for the data operand). Bits move with
+	// their entries on every promotion, pushdown, recovery move, dispatch
+	// and issue, and are set by the scoreboard's event-driven wakeup.
+	readyW [][]uint64
+	storeW [][]uint64
+	sb     iq.Scoreboard
+	byID   []*entry // scoreboard handle -> entry
+	nextID int32
+	// unresolved holds issued producers whose completion times the
+	// pipeline has not yet stamped; they resolve at the next BeginCycle
+	// (the engine sets Complete right after Issue returns).
+	unresolved []*uop.UOp
+
 	// Scratch buffers reused across cycles so the steady-state cycle loop
 	// (BeginCycle → Issue) does not allocate. The slice Issue returns is
 	// backed by outScratch and remains valid only until the next call.
-	readyScratch []*entry
-	candScratch  []*entry
-	outScratch   []*uop.UOp
+	candScratch []*entry
+	outScratch  []*uop.UOp
+	// moveReady/moveStore carry the candidates' bits between the batch
+	// removal and batch insertion halves of moveSelected.
+	moveReady []bool
+	moveStore []bool
 	// entryPool recycles queue entries between writeback and dispatch, so
 	// steady-state dispatch allocates nothing either.
 	entryPool []*entry
@@ -84,6 +107,12 @@ func New(cfg Config) (*SegmentedIQ, error) {
 	}
 	for k := range q.prevFree {
 		q.prevFree[k] = cfg.SegSize
+	}
+	q.readyW = make([][]uint64, cfg.Segments)
+	q.storeW = make([][]uint64, cfg.Segments)
+	for k := range q.readyW {
+		q.readyW[k] = bitvec.New(cfg.SegSize)
+		q.storeW[k] = bitvec.New(cfg.SegSize)
 	}
 	if cfg.UseHMP {
 		q.hmp = bpred.MustNewHMP()
@@ -164,10 +193,125 @@ func (q *SegmentedIQ) assertAt(k int, s signal) {
 	q.deliverSeg(k, s)
 }
 
+// newEntry takes an entry from the pool (or allocates one), keeps its
+// stable scoreboard handle across the reset, and registers it in byID.
+func (q *SegmentedIQ) newEntry(u *uop.UOp, seg int, arrived int64) *entry {
+	var e *entry
+	if n := len(q.entryPool); n > 0 {
+		e = q.entryPool[n-1]
+		q.entryPool[n-1] = nil
+		q.entryPool = q.entryPool[:n-1]
+		id := e.id
+		*e = entry{u: u, seg: seg, arrived: arrived, id: id}
+	} else {
+		e = &entry{u: u, seg: seg, arrived: arrived, id: q.nextID}
+		q.nextID++
+		q.byID = append(q.byID, nil)
+		q.sb.Grow(int(q.nextID))
+	}
+	q.byID[e.id] = e
+	return e
+}
+
+// segRemove takes e out of segment k at its recorded position, shifting
+// the tail and both bitmap words down. It returns e's ready/store bits so
+// a caller moving the entry to another segment can carry them along.
+func (q *SegmentedIQ) segRemove(k int, e *entry) (ready, store bool) {
+	i := int(e.pos)
+	seg := q.segs[k]
+	if i >= len(seg) || seg[i] != e {
+		panic("core: entry not found in its segment")
+	}
+	ready = bitvec.Test(q.readyW[k], i)
+	store = bitvec.Test(q.storeW[k], i)
+	bitvec.Remove(q.readyW[k], i)
+	bitvec.Remove(q.storeW[k], i)
+	copy(seg[i:], seg[i+1:])
+	seg[len(seg)-1] = nil
+	seg = seg[:len(seg)-1]
+	q.segs[k] = seg
+	for j := i; j < len(seg); j++ {
+		seg[j].pos = int32(j)
+	}
+	return ready, store
+}
+
+// segInsert places e into segment k at its sequence-ordered position,
+// shifting the tail and bitmap words up and carrying e's ready/store bits
+// with it.
+func (q *SegmentedIQ) segInsert(k int, e *entry, ready, store bool) {
+	seg := q.segs[k]
+	lo, hi := 0, len(seg)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seg[mid].u.Seq < e.u.Seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	seg = append(seg, nil)
+	copy(seg[lo+1:], seg[lo:])
+	seg[lo] = e
+	q.segs[k] = seg
+	bitvec.Insert(q.readyW[k], lo, ready)
+	bitvec.Insert(q.storeW[k], lo, store)
+	e.seg = k
+	for j := lo; j < len(seg); j++ {
+		seg[j].pos = int32(j)
+	}
+}
+
+// setReady flips the ready bit of the entry behind scoreboard handle h.
+func (q *SegmentedIQ) setReady(h int32) {
+	e := q.byID[h]
+	bitvec.Set(q.readyW[e.seg], int(e.pos))
+}
+
+// wakeConsumers tells the scoreboard that p's completion time resolved
+// and marks every consumer that became issue-ready.
+func (q *SegmentedIQ) wakeConsumers(p *uop.UOp) {
+	for _, h := range q.sb.Wake(p, q.curCycle) {
+		q.setReady(h)
+	}
+}
+
+// advance moves the queue's internal clock to cycle: producers issued
+// earlier whose completion the pipeline stamped after Issue returned
+// resolve now, and readiness scheduled for this cycle comes due.
+func (q *SegmentedIQ) advance(cycle int64) {
+	q.curCycle = cycle
+	if len(q.unresolved) > 0 {
+		kept := q.unresolved[:0]
+		for _, u := range q.unresolved {
+			if u.Complete == uop.NotYet {
+				kept = append(kept, u)
+				continue
+			}
+			q.wakeConsumers(u)
+		}
+		for i := len(kept); i < len(q.unresolved); i++ {
+			q.unresolved[i] = nil
+		}
+		q.unresolved = kept
+	}
+	for _, h := range q.sb.Due(cycle) {
+		q.setReady(h)
+	}
+}
+
+// refresh re-derives e's readiness from its instruction's current
+// producers (test hook for drivers that rewrite Prod after dispatch).
+func (q *SegmentedIQ) refresh(e *entry) {
+	q.sb.Untrack(e.id)
+	ready := q.sb.Track(e.id, e.u, q.curCycle)
+	bitvec.Assign(q.readyW[e.seg], int(e.pos), ready)
+}
+
 // BeginCycle implements iq.Queue: wire propagation, self-timed countdown,
 // deadlock recovery, promotion and pushdown.
 func (q *SegmentedIQ) BeginCycle(cycle int64) {
-	q.curCycle = cycle
+	q.advance(cycle)
 	q.issuedThisCycle = 0
 	q.promotedThisCycle = 0
 	q.dispatchedThisCycle = 0
@@ -214,36 +358,31 @@ func (q *SegmentedIQ) BeginCycle(cycle int64) {
 		for k := range q.segs {
 			q.stSegOcc[k].Observe(float64(len(q.segs[k])))
 		}
+		// Conventional-wakeup readiness (both operands): popcount of the
+		// ready words, minus ready stores whose data operand is still
+		// outstanding (their ready bit gates on the address alone).
 		ready0, readyAll := 0, 0
 		for k := range q.segs {
-			for _, e := range q.segs[k] {
-				if e.u.Ready(cycle) {
-					readyAll++
-					if k == 0 {
-						ready0++
+			c := 0
+			for wi, w := range q.readyW[k] {
+				c += bits.OnesCount64(w)
+				sw := w & q.storeW[k][wi]
+				for sw != 0 {
+					b := bits.TrailingZeros64(sw)
+					sw &= sw - 1
+					if !q.segs[k][wi<<6+b].u.OperandReady(0, cycle) {
+						c--
 					}
 				}
+			}
+			readyAll += c
+			if k == 0 {
+				ready0 = c
 			}
 		}
 		q.stReadySeg0.Observe(float64(ready0))
 		q.stReadyTotal.Observe(float64(readyAll))
 		q.chains.sample()
-	}
-}
-
-// sortEntriesBySeq orders entries by ascending sequence number (oldest
-// first) with an in-place insertion sort: candidate lists are at most one
-// segment long and nearly sorted, and unlike sort.Slice this allocates no
-// closure.
-func sortEntriesBySeq(es []*entry) {
-	for i := 1; i < len(es); i++ {
-		e := es[i]
-		j := i - 1
-		for j >= 0 && es[j].u.Seq > e.u.Seq {
-			es[j+1] = es[j]
-			j--
-		}
-		es[j+1] = e
 	}
 }
 
@@ -292,29 +431,35 @@ func (q *SegmentedIQ) promote(cycle int64) {
 // segment dest, oldest (lowest sequence number) first, asserting chain
 // wires for promoted heads. It returns the number moved.
 func (q *SegmentedIQ) moveSelected(k, dest, n int, cycle int64, pushdown bool, pick func(*entry) bool) int {
+	// The segment is seq-sorted, so collecting in order with an early
+	// break selects the n oldest matches.
 	cand := q.candScratch[:0]
 	for _, e := range q.segs[k] {
 		if pick(e) {
 			cand = append(cand, e)
+			if len(cand) == n {
+				break
+			}
 		}
 	}
-	q.candScratch = cand[:0]
 	if len(cand) == 0 {
+		q.candScratch = cand
 		return 0
 	}
-	sortEntriesBySeq(cand)
-	if len(cand) > n {
-		cand = cand[:n]
-	}
-	for _, e := range cand {
-		q.removeFromSegment(k, e)
-		e.seg = dest
+	q.removeBatch(k, cand)
+	for idx, e := range cand {
 		e.arrived = cycle
 		e.pushedDown = pushdown
-		q.segs[dest] = append(q.segs[dest], e)
 		q.catchUp(e, dest)
 		if e.isHead {
-			q.assertAt(k, signal{ch: e.head, typ: sigAdvance})
+			s := signal{ch: e.head, typ: sigAdvance}
+			q.assertAt(k, s)
+			// Later candidates were still resident in segment k when this
+			// head's wire fired; the batch removal already took them out
+			// of the segment list, so deliver to them by hand.
+			for _, e2 := range cand[idx+1:] {
+				e2.observe(s)
+			}
 		}
 		q.promotedThisCycle++
 		if pushdown {
@@ -323,37 +468,138 @@ func (q *SegmentedIQ) moveSelected(k, dest, n int, cycle int64, pushdown bool, p
 			q.stPromotions.Inc()
 		}
 	}
-	return len(cand)
+	q.insertBatch(dest, cand)
+	moved := len(cand)
+	for i := range cand {
+		cand[i] = nil
+	}
+	q.candScratch = cand[:0]
+	return moved
 }
 
-func (q *SegmentedIQ) removeFromSegment(k int, e *entry) {
+// removeBatch takes the candidates — in ascending position order, as
+// collected — out of segment k with a single compaction pass over the
+// slice and bit words, stashing each candidate's ready/store bits in
+// moveReady/moveStore for insertBatch.
+func (q *SegmentedIQ) removeBatch(k int, cand []*entry) {
+	q.moveReady = q.moveReady[:0]
+	q.moveStore = q.moveStore[:0]
 	seg := q.segs[k]
-	for i, x := range seg {
-		if x == e {
-			copy(seg[i:], seg[i+1:])
-			seg[len(seg)-1] = nil
-			q.segs[k] = seg[:len(seg)-1]
-			return
+	rw, sw := q.readyW[k], q.storeW[k]
+	n := len(cand)
+	p := int(cand[0].pos)
+	if int(cand[n-1].pos) == p+n-1 {
+		// The candidates occupy a contiguous run (the usual promotion
+		// pattern: the n oldest, all eligible): one bulk copy shifts the
+		// tail, one pass fixes positions and bits.
+		for j := 0; j < n; j++ {
+			q.moveReady = append(q.moveReady, bitvec.Test(rw, p+j))
+			q.moveStore = append(q.moveStore, bitvec.Test(sw, p+j))
 		}
+		copy(seg[p:], seg[p+n:])
+		last := len(seg) - n
+		for j := p; j < last; j++ {
+			seg[j].pos = int32(j)
+			bitvec.Assign(rw, j, bitvec.Test(rw, j+n))
+			bitvec.Assign(sw, j, bitvec.Test(sw, j+n))
+		}
+		for j := last; j < len(seg); j++ {
+			seg[j] = nil
+			bitvec.Clear(rw, j)
+			bitvec.Clear(sw, j)
+		}
+		q.segs[k] = seg[:last]
+		return
 	}
-	panic("core: entry not found in its segment")
+	ci := 0
+	w := p
+	for r := w; r < len(seg); r++ {
+		e := seg[r]
+		if ci < n && e == cand[ci] {
+			q.moveReady = append(q.moveReady, bitvec.Test(rw, r))
+			q.moveStore = append(q.moveStore, bitvec.Test(sw, r))
+			ci++
+			continue
+		}
+		seg[w] = e
+		e.pos = int32(w)
+		bitvec.Assign(rw, w, bitvec.Test(rw, r))
+		bitvec.Assign(sw, w, bitvec.Test(sw, r))
+		w++
+	}
+	for j := w; j < len(seg); j++ {
+		seg[j] = nil
+		bitvec.Clear(rw, j)
+		bitvec.Clear(sw, j)
+	}
+	q.segs[k] = seg[:w]
 }
 
-// Issue implements iq.Queue: conventional wakeup/select over the bottom
-// segment only, oldest ready first. Issuing chain heads assert their wire
-// at segment 0 (members with head location zero enter self-timed mode).
-// The returned slice is owned by the queue and valid until the next call.
+// insertBatch merges the candidates (seq-sorted, with their bits in
+// moveReady/moveStore) into segment dest with a single backward merge
+// over the slice and bit words. In the common promotion pattern the
+// incoming instructions are all younger than the destination's residents,
+// so the merge degenerates to an append.
+func (q *SegmentedIQ) insertBatch(dest int, cand []*entry) {
+	seg := q.segs[dest]
+	d := len(seg)
+	for range cand {
+		seg = append(seg, nil)
+	}
+	rw, sw := q.readyW[dest], q.storeW[dest]
+	i, w := d-1, len(seg)-1
+	for j := len(cand) - 1; j >= 0; w-- {
+		if i >= 0 && seg[i].u.Seq > cand[j].u.Seq {
+			e := seg[i]
+			seg[w] = e
+			e.pos = int32(w)
+			bitvec.Assign(rw, w, bitvec.Test(rw, i))
+			bitvec.Assign(sw, w, bitvec.Test(sw, i))
+			i--
+			continue
+		}
+		e := cand[j]
+		seg[w] = e
+		e.seg = dest
+		e.pos = int32(w)
+		bitvec.Assign(rw, w, q.moveReady[j])
+		bitvec.Assign(sw, w, q.moveStore[j])
+		j--
+	}
+	q.segs[dest] = seg
+}
+
+// removeFromSegment takes e out of segment k and stops tracking its
+// readiness: the entry is leaving the queue segments for good.
+func (q *SegmentedIQ) removeFromSegment(k int, e *entry) {
+	q.segRemove(k, e)
+	q.sb.Untrack(e.id)
+}
+
+// Issue implements iq.Queue: wakeup/select over the bottom segment only,
+// oldest ready first — a TrailingZeros64 walk of the seq-ordered ready
+// word. Issuing chain heads assert their wire at segment 0 (members with
+// head location zero enter self-timed mode). The returned slice is owned
+// by the queue and valid until the next call.
 func (q *SegmentedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
-	ready := q.readyScratch[:0]
-	for _, e := range q.segs[0] {
-		if e.arrived < cycle && e.u.IssueReady(cycle) {
-			ready = append(ready, e)
+	if cycle != q.curCycle {
+		// Drivers that skip BeginCycle (unit tests) still get wakes
+		// evaluated at the issue cycle.
+		q.advance(cycle)
+	}
+	cand := q.candScratch[:0]
+	for wi, w := range q.readyW[0] {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			e := q.segs[0][wi<<6+b]
+			if e.arrived < cycle {
+				cand = append(cand, e)
+			}
 		}
 	}
-	q.readyScratch = ready[:0]
-	sortEntriesBySeq(ready)
 	out := q.outScratch[:0]
-	for _, e := range ready {
+	for _, e := range cand {
 		if len(out) >= max {
 			break
 		}
@@ -364,11 +610,20 @@ func (q *SegmentedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) 
 		q.removeFromSegment(0, e)
 		q.total--
 		out = append(out, e.u)
+		if e.u.Inst.HasDest() {
+			// The pipeline stamps Complete after Issue returns; resolve
+			// the completion for waiting consumers at the next advance.
+			q.unresolved = append(q.unresolved, e.u)
+		}
 		if e.isHead {
 			q.assertAt(0, signal{ch: e.head, typ: sigAdvance})
 		}
 		q.trainLRP(e)
 	}
+	for i := range cand {
+		cand[i] = nil
+	}
+	q.candScratch = cand[:0]
 	q.outScratch = out
 	q.issuedThisCycle += len(out)
 	q.stIssued.Add(uint64(len(out)))
@@ -515,15 +770,9 @@ func (q *SegmentedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 	}
 
 	// Commit point: no stalls past here.
-	var e *entry
-	if n := len(q.entryPool); n > 0 {
-		e = q.entryPool[n-1]
-		q.entryPool[n-1] = nil
-		q.entryPool = q.entryPool[:n-1]
-		*e = entry{u: u, seg: target, arrived: cycle, isHead: needHead, head: hd}
-	} else {
-		e = &entry{u: u, seg: target, arrived: cycle, isHead: needHead, head: hd}
-	}
+	e := q.newEntry(u, target, cycle)
+	e.isHead = needHead
+	e.head = hd
 	if len(outs) == 2 {
 		q.stTwoOutstanding.Inc()
 		if twoDiff {
@@ -597,7 +846,7 @@ func (q *SegmentedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 
 	u.DispatchCycle = cycle
 	u.IQ = e
-	q.segs[target] = append(q.segs[target], e)
+	q.segInsert(target, e, q.sb.Track(e.id, u, cycle), u.IsStore())
 	q.catchUp(e, target)
 	q.total++
 	q.dispatchedThisCycle++
@@ -629,6 +878,7 @@ func (q *SegmentedIQ) NotifyLoadMiss(cycle int64, u *uop.UOp) {
 // NotifyLoadComplete implements iq.Queue: a final chain-wire signal
 // resumes self-timed mode; the hit/miss predictor is trained.
 func (q *SegmentedIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {
+	q.wakeConsumers(u)
 	if q.hmp != nil && u.IsLoad() {
 		q.hmp.Update(u.Inst.PC, u.MemKind == uop.MemHit)
 	}
@@ -643,6 +893,7 @@ func (q *SegmentedIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {
 // writes its result back to the register file; the register table row is
 // released if this instruction is still its producer.
 func (q *SegmentedIQ) Writeback(cycle int64, u *uop.UOp) {
+	q.wakeConsumers(u)
 	q.table.clearProducer(u)
 	e, ok := u.IQ.(*entry)
 	if !ok || e == nil {
@@ -682,14 +933,10 @@ func (q *SegmentedIQ) recover(cycle int64) {
 	q.stRecoveries.Inc()
 
 	var recycled *entry
+	var recycledReady, recycledStore bool
 	if len(q.segs[0]) >= q.cfg.SegSize && !q.anyReady(0, cycle) {
-		oldest := q.segs[0][0]
-		for _, e := range q.segs[0] {
-			if e.u.Seq < oldest.u.Seq {
-				oldest = e
-			}
-		}
-		q.removeFromSegment(0, oldest)
+		oldest := q.segs[0][0] // seq-sorted: slot 0 is the oldest
+		recycledReady, recycledStore = q.segRemove(0, oldest)
 		recycled = oldest
 	}
 
@@ -716,9 +963,8 @@ func (q *SegmentedIQ) recover(cycle int64) {
 		placed := false
 		for k := q.cfg.Segments - 1; k >= 0; k-- {
 			if len(q.segs[k]) < q.cfg.SegSize {
-				recycled.seg = k
 				recycled.arrived = cycle
-				q.segs[k] = append(q.segs[k], recycled)
+				q.segInsert(k, recycled, recycledReady, recycledStore)
 				q.catchUp(recycled, k)
 				placed = true
 				break
@@ -727,20 +973,14 @@ func (q *SegmentedIQ) recover(cycle int64) {
 		if !placed {
 			// Cannot happen: removing the entry freed a slot that the
 			// forced promotions can only have cascaded upward.
-			recycled.seg = 0
 			recycled.arrived = cycle // may not issue in its recycling cycle
-			q.segs[0] = append(q.segs[0], recycled)
+			q.segInsert(0, recycled, recycledReady, recycledStore)
 		}
 	}
 }
 
 func (q *SegmentedIQ) anyReady(k int, cycle int64) bool {
-	for _, e := range q.segs[k] {
-		if e.u.IssueReady(cycle) {
-			return true
-		}
-	}
-	return false
+	return bitvec.Any(q.readyW[k])
 }
 
 // SegmentLen returns the occupancy of segment k (tests and occupancy

@@ -49,13 +49,13 @@ func always(*uop.UOp) bool { return true }
 // chainless, non-self-timed reference neither decays nor hears signals.
 func addRaw(q *SegmentedIQ, seg int, seq int64, delay int, arrived int64) *entry {
 	u := uop.New(seq, aluInst(isa.RegNone, isa.RegNone, 1))
-	e := &entry{u: u, seg: seg, arrived: arrived}
+	e := q.newEntry(u, seg, arrived)
 	if delay > 0 {
 		e.refs[0] = chainRef{ch: chainNone, delay: delay}
 		e.nrefs = 1
 	}
 	u.IQ = e
-	q.segs[seg] = append(q.segs[seg], e)
+	q.segInsert(seg, e, q.sb.Track(e.id, u, q.curCycle), u.IsStore())
 	q.total++
 	return e
 }
@@ -222,6 +222,7 @@ func TestPromotionBandwidthAndPrevFree(t *testing.T) {
 	for i := int64(100); i < 106; i++ {
 		e := addRaw(q2, 0, i, 0, -1)
 		e.u.Prod[0] = uop.New(999, aluInst(isa.RegNone, isa.RegNone, 1)) // never ready
+		q2.refresh(e)
 	}
 	q2.BeginCycle(1)
 	if got := 8 - q2.SegmentLen(1); got != 2 {
@@ -260,6 +261,8 @@ func TestIssueOldestReadyFirstAndWidth(t *testing.T) {
 	for _, e := range q.segs[0] {
 		if e.u.Seq == 2 {
 			e.u.Prod[0] = blocked
+			q.refresh(e)
+			break
 		}
 	}
 	got := q.Issue(0, 3, always)
@@ -673,8 +676,11 @@ func TestDeadlockDetectionAndRecovery(t *testing.T) {
 		t.Fatalf("rotation failed: p in %d, c in %d", p.IQ.(*entry).seg, c.IQ.(*entry).seg)
 	}
 
-	// Once the ghost completes, both instructions drain.
+	// Once the ghost completes, both instructions drain. The writeback
+	// call delivers the completion the way the pipeline would (the ghost
+	// was never dispatched, so it only wakes its consumers).
 	ghost.Complete = 3
+	q.Writeback(3, ghost)
 	q.BeginCycle(4)
 	if got := q.Issue(4, 8, always); len(got) != 1 {
 		t.Fatal("recovered instruction did not issue")

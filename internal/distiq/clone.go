@@ -27,6 +27,15 @@ func (q *DistIQ) Clone(m *uop.CloneMap) iq.Queue {
 	for i, u := range q.wait {
 		n.wait[i] = m.Get(u)
 	}
+	n.waitH = append([]int32(nil), q.waitH...)
+	n.freeT = append([]int32(nil), q.freeT...)
+	n.recheckW = append([]uint64(nil), q.recheckW...)
+	n.wt = q.wt.Clone(m)
+	n.unresolved = make([]*uop.UOp, len(q.unresolved))
+	for i, u := range q.unresolved {
+		n.unresolved[i] = m.Get(u)
+	}
+	n.wakeBuf = nil
 	n.avail = append([]availEntry(nil), q.avail...)
 	for i := range n.avail {
 		n.avail[i].producer = m.Get(n.avail[i].producer)

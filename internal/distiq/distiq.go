@@ -20,6 +20,7 @@ package distiq
 import (
 	"fmt"
 
+	"repro/internal/bitvec"
 	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/stats"
@@ -87,6 +88,22 @@ type DistIQ struct {
 
 	avail []availEntry
 
+	// Event-driven wait-buffer release. Each wait entry holds a ticket
+	// (its handle in the waiter chains and the recheck bitmap). An entry
+	// is either parked on the producer of its first unpredictable operand
+	// — nothing can make it releasable before that producer's completion
+	// time resolves, since table rows only degrade (a younger dispatch can
+	// overwrite a row, never restore one) — or flagged in recheckW for a
+	// maxReady recomputation at the next BeginCycle. Entries whose ready
+	// time is known but whose target rows are full keep their recheck bit
+	// and retry every cycle, exactly like the old full rescan.
+	waitH      []int32    // per wait entry: its ticket
+	freeT      []int32    // ticket freelist (LIFO)
+	recheckW   []uint64   // by ticket: re-evaluate at next BeginCycle
+	wt         iq.Waiters // by ticket: parked on a producer
+	unresolved []*uop.UOp // issued producers whose Complete is still pending
+	wakeBuf    []int32    // scratch for WakeAll
+
 	stDispatched stats.Counter
 	stIssued     stats.Counter
 	stStallFull  stats.Counter
@@ -103,11 +120,18 @@ func New(cfg Config) (*DistIQ, error) {
 	if threads < 1 {
 		threads = 1
 	}
-	return &DistIQ{
-		cfg:   cfg,
-		lines: make([][]*uop.UOp, cfg.Lines),
-		avail: make([]availEntry, threads*isa.NumRegs),
-	}, nil
+	q := &DistIQ{
+		cfg:      cfg,
+		lines:    make([][]*uop.UOp, cfg.Lines),
+		avail:    make([]availEntry, threads*isa.NumRegs),
+		freeT:    make([]int32, cfg.WaitBuffer),
+		recheckW: bitvec.New(cfg.WaitBuffer),
+	}
+	for i := range q.freeT {
+		q.freeT[i] = int32(cfg.WaitBuffer - 1 - i)
+	}
+	q.wt.Grow(cfg.WaitBuffer)
+	return q, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -158,23 +182,84 @@ func (q *DistIQ) readiness(u *uop.UOp, j int, cycle int64) (int64, bool) {
 	return cycle, true
 }
 
-// BeginCycle implements iq.Queue: release wait-buffer instructions whose
-// ready times have become known, then drain the due row.
-func (q *DistIQ) BeginCycle(cycle int64) {
-	// Wait buffer → scheduling array, oldest first, as ready times
-	// resolve.
-	kept := q.wait[:0]
-	for _, u := range q.wait {
-		r, unknown := q.maxReady(u, cycle)
-		if unknown || !q.insertArray(u, r, cycle) {
+// wake flags every wait-buffer entry parked on p for re-evaluation at
+// the next BeginCycle.
+func (q *DistIQ) wake(p *uop.UOp) {
+	q.wakeBuf = q.wt.WakeAll(p, q.wakeBuf[:0])
+	for _, h := range q.wakeBuf {
+		bitvec.Set(q.recheckW, int(h))
+	}
+}
+
+// resolve drains issued producers whose completion times the pipeline has
+// since stamped (the engine sets Complete right after Issue returns),
+// waking their wait-buffer consumers.
+func (q *DistIQ) resolve() {
+	kept := q.unresolved[:0]
+	for _, u := range q.unresolved {
+		if u.Complete == uop.NotYet {
 			kept = append(kept, u)
 			continue
 		}
+		q.wake(u)
+	}
+	for i := len(kept); i < len(q.unresolved); i++ {
+		q.unresolved[i] = nil
+	}
+	q.unresolved = kept
+}
+
+// parkOn parks ticket h on the producer of u's first unpredictable
+// operand. maxReady returning unknown guarantees one exists (an operand
+// is only unpredictable while its producer's completion is unresolved).
+func (q *DistIQ) parkOn(h int32, u *uop.UOp, cycle int64) {
+	for j := 0; j < 2; j++ {
+		if u.IsStore() && j == 0 {
+			continue
+		}
+		if _, uj := q.readiness(u, j, cycle); uj {
+			q.wt.Park(h, u.Prod[j])
+			return
+		}
+	}
+	// Unreachable under the readiness invariants; keep the recheck bit so
+	// the entry retries every cycle rather than stranding.
+	bitvec.Set(q.recheckW, int(h))
+}
+
+// BeginCycle implements iq.Queue: release wait-buffer instructions whose
+// ready times have become known, then drain the due row.
+func (q *DistIQ) BeginCycle(cycle int64) {
+	q.resolve()
+	// Wait buffer → scheduling array, oldest first, as ready times
+	// resolve. Entries parked in the waiter chains are provably still
+	// unpredictable and skipped; flagged entries recompute.
+	kept := q.wait[:0]
+	keptH := q.waitH[:0]
+	for i, u := range q.wait {
+		h := q.waitH[i]
+		if bitvec.Test(q.recheckW, int(h)) {
+			r, unknown := q.maxReady(u, cycle)
+			if !unknown && q.insertArray(u, r, cycle) {
+				bitvec.Clear(q.recheckW, int(h))
+				q.freeT = append(q.freeT, h)
+				continue
+			}
+			if unknown {
+				bitvec.Clear(q.recheckW, int(h))
+				q.parkOn(h, u, cycle)
+			}
+			// Known but every row from the target onward is full: the bit
+			// stays set and the insert retries next cycle.
+		}
+		kept = append(kept, u)
+		keptH = append(keptH, h)
 	}
 	for i := len(kept); i < len(q.wait); i++ {
 		q.wait[i] = nil
 	}
 	q.wait = kept
+	q.waitH = keptH
 	if every := int64(q.cfg.StatsEvery); every <= 1 || cycle%every == 0 {
 		q.stWaitOcc.Observe(float64(len(q.wait)))
 	}
@@ -320,6 +405,9 @@ func (q *DistIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uo
 		if len(out) < max && u.DispatchCycle < cycle && u.IssueReady(cycle) && tryIssue(u) {
 			u.IssueCycle = cycle
 			out = append(out, u)
+			if u.Inst.HasDest() {
+				q.unresolved = append(q.unresolved, u)
+			}
 			continue
 		}
 		kept = append(kept, u)
@@ -344,7 +432,11 @@ func (q *DistIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 			q.stStallFull.Inc()
 			return false
 		}
+		h := q.freeT[len(q.freeT)-1]
+		q.freeT = q.freeT[:len(q.freeT)-1]
 		q.wait = append(q.wait, u)
+		q.waitH = append(q.waitH, h)
+		q.parkOn(h, u, cycle)
 		q.stWaited.Inc()
 	} else if !q.insertArray(u, r, cycle) {
 		q.stStallFull.Inc()
@@ -383,9 +475,10 @@ func (q *DistIQ) NotifyLoadMiss(cycle int64, u *uop.UOp) {}
 // NotifyLoadComplete implements iq.Queue: the load's value now has an
 // exact time; its table row resolves so waiters can be released.
 func (q *DistIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {
-	if !u.Inst.HasDest() {
+	if u == nil || !u.Inst.HasDest() {
 		return
 	}
+	q.wake(u)
 	e := q.availRow(u.Thread, u.Inst.Dest)
 	if e.valid && e.producer == u {
 		e.at = u.Complete
@@ -393,11 +486,13 @@ func (q *DistIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {
 	}
 }
 
-// Writeback implements iq.Queue: release the availability row.
+// Writeback implements iq.Queue: release the availability row and wake
+// wait-buffer consumers of the now-resolved producer.
 func (q *DistIQ) Writeback(cycle int64, u *uop.UOp) {
 	if !u.Inst.HasDest() {
 		return
 	}
+	q.wake(u)
 	e := q.availRow(u.Thread, u.Inst.Dest)
 	if e.valid && e.producer == u {
 		e.valid = false

@@ -89,7 +89,11 @@ type ckKey struct {
 
 // ckCache lazily builds one checkpoint per ckKey. The first job to need a
 // key pays the warmup (inside its worker slot, so distinct workloads warm
-// in parallel); every later job forks the finished checkpoint.
+// in parallel); every later job forks the finished checkpoint. Entries
+// are refcounted: retain registers every job's claim up front, and the
+// last fork for a key evicts its checkpoint, so a long batch holds at
+// most the warmed machines still feeding unforked grid points instead of
+// every workload's template until the batch ends.
 type ckCache struct {
 	o  Options
 	mu sync.Mutex
@@ -100,11 +104,36 @@ type ckEntry struct {
 	once sync.Once
 	ck   *sim.Checkpoint
 	err  error
+	// refs counts grid points that have yet to fork this checkpoint;
+	// guarded by the cache mutex.
+	refs int
+}
+
+func (c *ckCache) key(j job) ckKey {
+	return ckKey{wl: j.wl, mem: j.cfg.Memory, bp: j.cfg.BranchPredictor,
+		btbE: j.cfg.BTBEntries, btbW: j.cfg.BTBWays}
+}
+
+// retain registers each job's claim on its checkpoint before the batch
+// starts, so forked can tell when a checkpoint has served its last grid
+// point. Jobs skipped by the batch's stop flag never drop their claim;
+// that only delays eviction on a batch that is already aborting.
+func (c *ckCache) retain(jobs []job) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, j := range jobs {
+		k := c.key(j)
+		e := c.m[k]
+		if e == nil {
+			e = new(ckEntry)
+			c.m[k] = e
+		}
+		e.refs++
+	}
 }
 
 func (c *ckCache) get(j job) (*sim.Checkpoint, error) {
-	key := ckKey{wl: j.wl, mem: j.cfg.Memory, bp: j.cfg.BranchPredictor,
-		btbE: j.cfg.BTBEntries, btbW: j.cfg.BTBWays}
+	key := c.key(j)
 	c.mu.Lock()
 	e := c.m[key]
 	if e == nil {
@@ -118,6 +147,42 @@ func (c *ckCache) get(j job) (*sim.Checkpoint, error) {
 	return e.ck, e.err
 }
 
+// forked drops j's claim on its checkpoint. The last claim evicts the
+// entry and releases the checkpoint, which also unpins its stream cursor
+// so the fork source can trim the memoised suffix behind the machines
+// still running (trace.ForkCursor.Release).
+func (c *ckCache) forked(j job) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.m[c.key(j)]
+	if e == nil {
+		return
+	}
+	e.refs--
+	if e.refs == 0 {
+		if e.ck != nil {
+			e.ck.Release()
+		}
+		delete(c.m, c.key(j))
+	}
+}
+
+// run is the batch runner: fork j's checkpoint (warming it if j is first
+// to the key), drop the claim, and simulate.
+func (c *ckCache) run(j job, instructions int64) (*sim.Result, error) {
+	ck, err := c.get(j)
+	if err != nil {
+		c.forked(j)
+		return nil, err
+	}
+	p, err := ck.Fork(j.cfg)
+	c.forked(j)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(instructions)
+}
+
 // runAll executes jobs concurrently and returns results keyed by job key.
 // Any simulation error aborts the batch. The warmup fast-forward runs
 // once per workload (per memory/branch geometry); each grid point then
@@ -129,16 +194,9 @@ func (o Options) runAll(jobs []job) (map[string]*sim.Result, error) {
 		return nil, err
 	}
 	cks := &ckCache{o: o, m: make(map[ckKey]*ckEntry)}
+	cks.retain(jobs)
 	return o.runAllWith(jobs, func(j job) (*sim.Result, error) {
-		ck, err := cks.get(j)
-		if err != nil {
-			return nil, err
-		}
-		p, err := ck.Fork(j.cfg)
-		if err != nil {
-			return nil, err
-		}
-		return p.Run(o.Instructions)
+		return cks.run(j, o.Instructions)
 	})
 }
 

@@ -93,6 +93,48 @@ func TestRunAllForkMatchesColdPath(t *testing.T) {
 	}
 }
 
+// TestCheckpointCacheEvictsAfterLastFork: a checkpoint is held exactly as
+// long as grid points still need to fork it — the last fork for a key
+// releases the warmed template, so a long batch does not keep every
+// workload's machine alive until the end.
+func TestCheckpointCacheEvictsAfterLastFork(t *testing.T) {
+	o := Options{Instructions: 300, Warmup: 4000, Seed: 1, Parallel: 1}
+	jobs := []job{
+		{key: "swim/64", cfg: sim.DefaultConfig(sim.QueueIdeal, 64), wl: "swim"},
+		{key: "swim/128", cfg: sim.DefaultConfig(sim.QueueIdeal, 128), wl: "swim"},
+		{key: "gcc/64", cfg: sim.DefaultConfig(sim.QueueIdeal, 64), wl: "gcc"},
+	}
+	cks := &ckCache{o: o, m: make(map[ckKey]*ckEntry)}
+	cks.retain(jobs)
+
+	entries := func() int {
+		cks.mu.Lock()
+		defer cks.mu.Unlock()
+		return len(cks.m)
+	}
+	if got := entries(); got != 2 {
+		t.Fatalf("retain registered %d keys, want 2 (both swim jobs share one checkpoint)", got)
+	}
+	if _, err := cks.run(jobs[0], o.Instructions); err != nil {
+		t.Fatal(err)
+	}
+	if got := entries(); got != 2 {
+		t.Fatalf("swim checkpoint evicted with a grid point still unforked (entries=%d)", got)
+	}
+	if _, err := cks.run(jobs[1], o.Instructions); err != nil {
+		t.Fatal(err)
+	}
+	if got := entries(); got != 1 {
+		t.Fatalf("swim checkpoint not evicted after its last fork (entries=%d)", got)
+	}
+	if _, err := cks.run(jobs[2], o.Instructions); err != nil {
+		t.Fatal(err)
+	}
+	if got := entries(); got != 0 {
+		t.Fatalf("cache still holds %d checkpoints after the batch", got)
+	}
+}
+
 // TestRunAllWithSuccess: every job runs once and every result is keyed.
 func TestRunAllWithSuccess(t *testing.T) {
 	o := Options{Parallel: 3}

@@ -23,5 +23,11 @@ func (q *FIFOIQ) Clone(m *uop.CloneMap) iq.Queue {
 		}
 		n.fifos[f] = nf
 	}
+	n.readyW = append([]uint64(nil), q.readyW...)
+	n.sb = q.sb.Clone(m)
+	n.unresolved = make([]*uop.UOp, len(q.unresolved))
+	for i, u := range q.unresolved {
+		n.unresolved[i] = m.Get(u)
+	}
 	return n
 }

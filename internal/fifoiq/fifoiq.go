@@ -17,7 +17,9 @@ package fifoiq
 
 import (
 	"fmt"
+	"math/bits"
 
+	"repro/internal/bitvec"
 	"repro/internal/iq"
 	"repro/internal/stats"
 	"repro/internal/uop"
@@ -60,10 +62,25 @@ type cand struct {
 }
 
 // FIFOIQ implements iq.Queue.
+//
+// Only the FIFO heads participate in wakeup, so the ready state is one
+// bit per FIFO, maintained event-driven by an iq.Scoreboard (handle =
+// FIFO index): a head is tracked when it becomes exposed and untracked
+// when popped, and select walks the set bits instead of re-testing every
+// head's operands each cycle.
 type FIFOIQ struct {
 	cfg   Config
 	fifos [][]*uop.UOp
 	total int
+	now   int64 // current cycle; clocks wakeup deliveries
+
+	readyW []uint64 // per-FIFO: head exposed and issue-ready
+	sb     iq.Scoreboard
+
+	// unresolved holds issued producers whose completion time was still
+	// unknown when they left the queue; the next cycle re-checks them
+	// (the execution core stamps Complete right after Issue returns).
+	unresolved []*uop.UOp
 
 	// Reused per-cycle scratch: candidate heads and Issue's result (the
 	// returned slice is valid only until the next call).
@@ -84,7 +101,13 @@ func New(cfg Config) (*FIFOIQ, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &FIFOIQ{cfg: cfg, fifos: make([][]*uop.UOp, cfg.FIFOs)}, nil
+	q := &FIFOIQ{
+		cfg:    cfg,
+		fifos:  make([][]*uop.UOp, cfg.FIFOs),
+		readyW: bitvec.New(cfg.FIFOs),
+	}
+	q.sb.Grow(cfg.FIFOs)
+	return q, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -109,20 +132,45 @@ func (q *FIFOIQ) Len() int { return q.total }
 // enough that Palacharla et al. charge no extra latency.
 func (q *FIFOIQ) ExtraDispatchStages() int { return 0 }
 
-// BeginCycle implements iq.Queue (statistics only; FIFOs have no internal
-// motion).
+// wake delivers p's now-known completion time to parked head consumers.
+func (q *FIFOIQ) wake(cycle int64, p *uop.UOp) {
+	for _, h := range q.sb.Wake(p, cycle) {
+		bitvec.Set(q.readyW, int(h))
+	}
+}
+
+// advance moves the queue's clock to cycle: re-check issued producers
+// whose completion time was unknown and deliver scheduled wakeups.
+func (q *FIFOIQ) advance(cycle int64) {
+	q.now = cycle
+	if len(q.unresolved) > 0 {
+		kept := q.unresolved[:0]
+		for _, u := range q.unresolved {
+			if u.Complete == uop.NotYet {
+				kept = append(kept, u)
+				continue
+			}
+			q.wake(cycle, u)
+		}
+		for i := len(kept); i < len(q.unresolved); i++ {
+			q.unresolved[i] = nil
+		}
+		q.unresolved = kept
+	}
+	for _, h := range q.sb.Due(cycle) {
+		bitvec.Set(q.readyW, int(h))
+	}
+}
+
+// BeginCycle implements iq.Queue: deliver scheduled wakeups (FIFOs have
+// no internal motion) and sample the head-readiness statistic.
 func (q *FIFOIQ) BeginCycle(cycle int64) {
+	q.advance(cycle)
 	if every := int64(q.cfg.StatsEvery); every > 1 && cycle%every != 0 {
 		return
 	}
 	q.stOccupancy.Observe(float64(q.total))
-	ready := 0
-	for _, f := range q.fifos {
-		if len(f) > 0 && f[0].IssueReady(cycle) {
-			ready++
-		}
-	}
-	q.stReadyHeads.Observe(float64(ready))
+	q.stReadyHeads.Observe(float64(bitvec.Count(q.readyW)))
 }
 
 // sortCandsBySeq orders candidates by ascending sequence number with an
@@ -145,14 +193,22 @@ func sortCandsBySeq(cs []cand) {
 // for the following cycle. The returned slice is owned by the queue and
 // valid until the next call.
 func (q *FIFOIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
+	if cycle != q.now {
+		// Unit-test drivers may skip BeginCycle; deliver wakeups here.
+		q.advance(cycle)
+	}
+	// Snapshot the ready heads first: popping a head below exposes the
+	// next instruction, which must wait until the following cycle.
 	cands := q.candScratch[:0]
-	for i, f := range q.fifos {
-		if len(f) == 0 {
-			continue
-		}
-		u := f[0]
-		if u.DispatchCycle < cycle && u.IssueReady(cycle) {
-			cands = append(cands, cand{fifo: i, u: u})
+	for k, w := range q.readyW {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			i := k<<6 + b
+			u := q.fifos[i][0]
+			if u.DispatchCycle < cycle {
+				cands = append(cands, cand{fifo: i, u: u})
+			}
 		}
 	}
 	q.candScratch = cands[:0]
@@ -169,13 +225,29 @@ func (q *FIFOIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uo
 		f := q.fifos[c.fifo]
 		copy(f, f[1:])
 		f[len(f)-1] = nil
-		q.fifos[c.fifo] = f[:len(f)-1]
+		f = f[:len(f)-1]
+		q.fifos[c.fifo] = f
 		q.total--
+		bitvec.Clear(q.readyW, c.fifo)
+		q.sb.Untrack(int32(c.fifo))
+		if len(f) > 0 {
+			q.trackHead(c.fifo, f[0], cycle)
+		}
+		if c.u.Inst.HasDest() {
+			q.unresolved = append(q.unresolved, c.u)
+		}
 		out = append(out, c.u)
 	}
 	q.outScratch = out
 	q.stIssued.Add(uint64(len(out)))
 	return out
+}
+
+// trackHead registers a newly exposed FIFO head with the scoreboard.
+func (q *FIFOIQ) trackHead(fifo int, u *uop.UOp, cycle int64) {
+	if q.sb.Track(int32(fifo), u, cycle) {
+		bitvec.Set(q.readyW, fifo)
+	}
 }
 
 // Dispatch implements iq.Queue: steer behind an operand producer at a
@@ -204,6 +276,7 @@ func (q *FIFOIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 		if len(f) == 0 {
 			q.fifos[i] = append(f, u)
 			q.place(u, cycle)
+			q.trackHead(i, u, cycle)
 			q.stNewFIFO.Inc()
 			return true
 		}
@@ -222,11 +295,19 @@ func (q *FIFOIQ) place(u *uop.UOp, cycle int64) {
 // dispatch).
 func (q *FIFOIQ) NotifyLoadMiss(cycle int64, u *uop.UOp) {}
 
-// NotifyLoadComplete implements iq.Queue (no-op).
-func (q *FIFOIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {}
+// NotifyLoadComplete implements iq.Queue: the load's completion cycle is
+// now known, so wake heads parked on it. The wake is clocked by the
+// queue's own cycle, not the caller's stamp, since some drivers announce
+// writebacks scheduled for a future cycle.
+func (q *FIFOIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {
+	q.wake(q.now, u)
+}
 
-// Writeback implements iq.Queue (no-op).
-func (q *FIFOIQ) Writeback(cycle int64, u *uop.UOp) {}
+// Writeback implements iq.Queue: wake heads parked on u (see
+// NotifyLoadComplete for the clocking).
+func (q *FIFOIQ) Writeback(cycle int64, u *uop.UOp) {
+	q.wake(q.now, u)
+}
 
 // EndCycle implements iq.Queue: FIFO heads always drain once ready, so
 // the structure cannot deadlock.

@@ -2,10 +2,15 @@
 // scheduler design in the repository, and implements the conventional
 // monolithic queue — the paper's "ideal, single-cycle" baseline, whose
 // wakeup and select logic searches every entry each cycle regardless of
-// size.
+// size. The modelled hardware rescans everything; the software model
+// reproduces the same cycle-level behaviour with event-driven readiness
+// bitmaps (see DESIGN.md and the Scoreboard type).
 package iq
 
 import (
+	"math/bits"
+
+	"repro/internal/bitvec"
 	"repro/internal/stats"
 	"repro/internal/uop"
 )
@@ -57,10 +62,12 @@ type Queue interface {
 	// design).
 	NotifyLoadMiss(cycle int64, u *uop.UOp)
 	// NotifyLoadComplete tells the scheduler that a load's data has
-	// returned (chain resumption).
+	// returned (chain resumption, consumer wakeup).
 	NotifyLoadComplete(cycle int64, u *uop.UOp)
 	// Writeback tells the scheduler that u's result has been written to
-	// the register file (chain deallocation point).
+	// the register file (chain deallocation point). Implementations rely
+	// on this call — delivered no later than the first cycle the result
+	// is architecturally visible — to wake parked consumers.
 	Writeback(cycle int64, u *uop.UOp)
 
 	// EndCycle closes the cycle. machineActive reports whether anything
@@ -84,12 +91,41 @@ type Queue interface {
 // and select each cycle. With unconstrained size it is the paper's "ideal"
 // IQ; at 32 entries it is the conventional baseline the segmented design
 // is compared against.
+//
+// Instructions live in a packed array kept sorted by sequence number, so
+// position doubles as age order; a position-indexed ready bitmap is
+// maintained event-driven by a Scoreboard. Wakeup then costs nothing for
+// entries whose operands did not change, and select takes set bits in
+// position order — the first set bit is the oldest ready instruction, no
+// sorting needed. The selection each cycle is identical to the full
+// rescan the modelled hardware performs.
 type Conventional struct {
 	name       string
 	capacity   int
-	entries    []*uop.UOp // in program order (dispatch order)
+	statsEvery int64 // sample per-cycle stats every n cycles (<=1: every)
+	now        int64 // last BeginCycle; clocks wakeup deliveries
+
+	// slots is packed and seq-sorted; ids maps a position to the
+	// instruction's stable scoreboard handle, posOf is the inverse (valid
+	// while resident), and freeH recycles handles of departed entries.
+	slots []*uop.UOp
+	ids   []int32
+	posOf []int32
+	freeH []int32
+
+	readyW []uint64 // position-indexed: issue-ready
+	storeW []uint64 // position-indexed: stores (Ready-stat correction)
+	sb     Scoreboard
+
+	// unresolved holds issued producers whose completion time was still
+	// unknown when they left the queue: the execution core stamps
+	// u.Complete right after Issue returns, so the next BeginCycle wakes
+	// their consumers with the exact completion cycle. (The Writeback
+	// call delivers the same information; whichever arrives first wins.)
+	unresolved []*uop.UOp
+
 	outScratch []*uop.UOp // backs Issue's result; reused every cycle
-	statsEvery int64      // sample per-cycle stats every n cycles (<=1: every)
+	rmScratch  []int32    // removed positions, ascending; reused every cycle
 
 	issued     stats.Counter
 	dispatched stats.Counter
@@ -103,8 +139,8 @@ func NewConventional(capacity int) *Conventional {
 	return &Conventional{name: "ideal", capacity: capacity}
 }
 
-// SetStatsSampling makes BeginCycle's full-queue readiness scan run only
-// every n cycles (<=1: every cycle). Scheduling is unaffected; only the
+// SetStatsSampling makes BeginCycle's readiness statistics run only every
+// n cycles (<=1: every cycle). Scheduling is unaffected; only the
 // resolution of the occupancy/readiness averages changes.
 func (q *Conventional) SetStatsSampling(n int) { q.statsEvery = int64(n) }
 
@@ -115,22 +151,61 @@ func (q *Conventional) Name() string { return q.name }
 func (q *Conventional) Capacity() int { return q.capacity }
 
 // Len implements Queue.
-func (q *Conventional) Len() int { return len(q.entries) }
+func (q *Conventional) Len() int { return len(q.slots) }
 
 // ExtraDispatchStages implements Queue: a conventional IQ costs nothing
 // extra.
 func (q *Conventional) ExtraDispatchStages() int { return 0 }
 
-// BeginCycle implements Queue.
+// wake delivers p's now-known completion time to parked consumers.
+func (q *Conventional) wake(cycle int64, p *uop.UOp) {
+	for _, h := range q.sb.Wake(p, cycle) {
+		bitvec.Set(q.readyW, int(q.posOf[h]))
+	}
+}
+
+// resolve re-checks issued producers whose completion time was unknown.
+func (q *Conventional) resolve(cycle int64) {
+	kept := q.unresolved[:0]
+	for _, u := range q.unresolved {
+		if u.Complete == uop.NotYet {
+			kept = append(kept, u)
+			continue
+		}
+		q.wake(cycle, u)
+	}
+	for i := len(kept); i < len(q.unresolved); i++ {
+		q.unresolved[i] = nil
+	}
+	q.unresolved = kept
+}
+
+// BeginCycle implements Queue: deliver scheduled wakeups, then sample the
+// occupancy/readiness statistics the modelled hardware would observe.
 func (q *Conventional) BeginCycle(cycle int64) {
+	q.now = cycle
+	if len(q.unresolved) > 0 {
+		q.resolve(cycle)
+	}
+	for _, h := range q.sb.Due(cycle) {
+		bitvec.Set(q.readyW, int(q.posOf[h]))
+	}
 	if q.statsEvery > 1 && cycle%q.statsEvery != 0 {
 		return
 	}
-	q.occupancy.Observe(float64(len(q.entries)))
-	ready := 0
-	for _, u := range q.entries {
-		if u.Ready(cycle) {
-			ready++
+	q.occupancy.Observe(float64(len(q.slots)))
+	ready := bitvec.Count(q.readyW)
+	// The ready bitmap tracks issue readiness, under which a store waits
+	// only for its address; the conventional-wakeup statistic counts full
+	// operand readiness, so discount ready stores with pending data.
+	for k := range q.readyW {
+		w := q.readyW[k] & q.storeW[k]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			if !q.slots[k<<6+b].OperandReady(0, cycle) {
+				ready--
+			}
 		}
 	}
 	q.readyInIQ.Observe(float64(ready))
@@ -140,46 +215,168 @@ func (q *Conventional) BeginCycle(cycle int64) {
 // structure, oldest ready instructions first. The returned slice is owned
 // by the queue and valid until the next call.
 func (q *Conventional) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
-	out := q.outScratch[:0]
-	kept := q.entries[:0]
-	for _, u := range q.entries {
-		if len(out) < max && u.DispatchCycle < cycle && u.IssueReady(cycle) && tryIssue(u) {
-			u.IssueCycle = cycle
-			out = append(out, u)
-			continue
+	if cycle != q.now {
+		// Unit-test drivers may skip BeginCycle; deliver wakeups here.
+		q.now = cycle
+		if len(q.unresolved) > 0 {
+			q.resolve(cycle)
 		}
-		kept = append(kept, u)
+		for _, h := range q.sb.Due(cycle) {
+			bitvec.Set(q.readyW, int(q.posOf[h]))
+		}
 	}
-	// Zero the tail so released uops can be collected.
-	for i := len(kept); i < len(q.entries); i++ {
-		q.entries[i] = nil
+	out := q.outScratch[:0]
+	removed := q.rmScratch[:0]
+	// Positions are age order, so taking set bits low-to-high visits the
+	// ready instructions oldest first.
+scan:
+	for k, w := range q.readyW {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			pos := k<<6 + b
+			u := q.slots[pos]
+			if u.DispatchCycle < cycle && tryIssue(u) {
+				u.IssueCycle = cycle
+				out = append(out, u)
+				removed = append(removed, int32(pos))
+				if u.Inst.HasDest() {
+					q.unresolved = append(q.unresolved, u)
+				}
+				if len(out) >= max {
+					break scan
+				}
+			}
+		}
 	}
-	q.entries = kept
+	if len(removed) > 0 {
+		q.removeBatch(removed)
+	}
 	q.outScratch = out
+	q.rmScratch = removed
 	q.issued.Add(uint64(len(out)))
 	return out
 }
 
+// removeBatch frees the instructions at the given ascending positions,
+// recompacting the seq-sorted array and both bitmaps.
+func (q *Conventional) removeBatch(removed []int32) {
+	n, m := len(q.slots), len(removed)
+	for _, p := range removed {
+		h := q.ids[p]
+		q.sb.Untrack(h)
+		q.freeH = append(q.freeH, h)
+	}
+	if int(removed[m-1]) == m-1 {
+		// The removed set is the contiguous front of the queue — the
+		// common case, since the oldest ready instructions issue together.
+		copy(q.slots, q.slots[m:])
+		copy(q.ids, q.ids[m:])
+		for p := 0; p < n-m; p++ {
+			q.posOf[q.ids[p]] = int32(p)
+		}
+		for i := 0; i < m; i++ {
+			bitvec.Remove(q.readyW, 0)
+			bitvec.Remove(q.storeW, 0)
+		}
+		for i := n - m; i < n; i++ {
+			q.slots[i] = nil
+		}
+		q.slots = q.slots[:n-m]
+		q.ids = q.ids[:n-m]
+		return
+	}
+	w, ri := int(removed[0]), 0
+	for r := w; r < n; r++ {
+		if ri < m && removed[ri] == int32(r) {
+			ri++
+			continue
+		}
+		h := q.ids[r]
+		q.slots[w] = q.slots[r]
+		q.ids[w] = h
+		q.posOf[h] = int32(w)
+		bitvec.Assign(q.readyW, w, bitvec.Test(q.readyW, r))
+		bitvec.Assign(q.storeW, w, bitvec.Test(q.storeW, r))
+		w++
+	}
+	for i := w; i < n; i++ {
+		q.slots[i] = nil
+		bitvec.Clear(q.readyW, i)
+		bitvec.Clear(q.storeW, i)
+	}
+	q.slots = q.slots[:w]
+	q.ids = q.ids[:w]
+}
+
 // Dispatch implements Queue.
 func (q *Conventional) Dispatch(cycle int64, u *uop.UOp) bool {
-	if len(q.entries) >= q.capacity {
+	if len(q.slots) >= q.capacity {
 		q.fullStalls.Inc()
 		return false
 	}
+	var h int32
+	if n := len(q.freeH); n > 0 {
+		h = q.freeH[n-1]
+		q.freeH = q.freeH[:n-1]
+	} else {
+		h = int32(len(q.posOf))
+		q.posOf = append(q.posOf, 0)
+		q.sb.Grow(len(q.posOf))
+	}
+	// Dispatch is in program order, so the insert position is almost
+	// always the tail; the binary search covers replay-style drivers that
+	// re-dispatch older sequence numbers.
+	pos := len(q.slots)
+	if pos > 0 && q.slots[pos-1].Seq > u.Seq {
+		lo, hi := 0, pos
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if q.slots[mid].Seq < u.Seq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		pos = lo
+	}
 	u.DispatchCycle = cycle
-	q.entries = append(q.entries, u)
+	q.slots = append(q.slots, nil)
+	copy(q.slots[pos+1:], q.slots[pos:])
+	q.slots[pos] = u
+	q.ids = append(q.ids, 0)
+	copy(q.ids[pos+1:], q.ids[pos:])
+	q.ids[pos] = h
+	for p := pos; p < len(q.ids); p++ {
+		q.posOf[q.ids[p]] = int32(p)
+	}
+	for len(q.readyW) < bitvec.Words(len(q.slots)) {
+		q.readyW = append(q.readyW, 0)
+		q.storeW = append(q.storeW, 0)
+	}
+	bitvec.Insert(q.storeW, pos, u.IsStore())
+	bitvec.Insert(q.readyW, pos, q.sb.Track(h, u, cycle))
 	q.dispatched.Inc()
 	return true
 }
 
-// NotifyLoadMiss implements Queue (no-op: readiness is observed directly).
+// NotifyLoadMiss implements Queue (no-op: readiness is delivered when the
+// data returns).
 func (q *Conventional) NotifyLoadMiss(cycle int64, u *uop.UOp) {}
 
-// NotifyLoadComplete implements Queue (no-op).
-func (q *Conventional) NotifyLoadComplete(cycle int64, u *uop.UOp) {}
+// NotifyLoadComplete implements Queue: the load's completion cycle is now
+// known, so wake its parked consumers. The wake is clocked by the queue's
+// own cycle, not the caller's stamp: some drivers announce a writeback
+// scheduled for a future cycle, and readiness must not arrive early.
+func (q *Conventional) NotifyLoadComplete(cycle int64, u *uop.UOp) {
+	q.wake(q.now, u)
+}
 
-// Writeback implements Queue (no-op).
-func (q *Conventional) Writeback(cycle int64, u *uop.UOp) {}
+// Writeback implements Queue: wake consumers parked on u (see
+// NotifyLoadComplete for the clocking).
+func (q *Conventional) Writeback(cycle int64, u *uop.UOp) {
+	q.wake(q.now, u)
+}
 
 // EndCycle implements Queue (no-op: a conventional IQ cannot deadlock).
 func (q *Conventional) EndCycle(cycle int64, machineActive bool) {}
@@ -189,13 +386,20 @@ func (q *Conventional) Clone(m *uop.CloneMap) Queue {
 	n := new(Conventional)
 	*n = *q
 	n.outScratch = nil
-	if len(q.entries) > 0 {
-		n.entries = make([]*uop.UOp, len(q.entries))
-		for i, u := range q.entries {
-			n.entries[i] = m.Get(u)
-		}
-	} else {
-		n.entries = nil
+	n.rmScratch = nil
+	n.slots = make([]*uop.UOp, len(q.slots))
+	for i, u := range q.slots {
+		n.slots[i] = m.Get(u)
+	}
+	n.ids = append([]int32(nil), q.ids...)
+	n.posOf = append([]int32(nil), q.posOf...)
+	n.freeH = append([]int32(nil), q.freeH...)
+	n.readyW = append([]uint64(nil), q.readyW...)
+	n.storeW = append([]uint64(nil), q.storeW...)
+	n.sb = q.sb.Clone(m)
+	n.unresolved = make([]*uop.UOp, len(q.unresolved))
+	for i, u := range q.unresolved {
+		n.unresolved[i] = m.Get(u)
 	}
 	return n
 }

@@ -14,13 +14,23 @@ import (
 // issue identical instruction sequences every cycle and report identical
 // occupancy, and neither may perturb the other (the clone works on
 // remapped uops, so any shared mutable state shows up as divergence).
+// A few cycles later the clone is itself cloned and the three machines
+// run in lockstep: state that survives one Clone by luck (a shallowly
+// shared readiness bitmap, say, that the original happens not to touch
+// again) still has to survive being copied out of the copy.
 func CloneFuzz(t *testing.T, mk func() iq.Queue, o Options) {
 	t.Helper()
+	second := 0
 	for round := 0; round < o.Rounds; round++ {
-		cloneRound(t, mk(), o, uint64(round)*104729+11)
+		if cloneRound(t, mk(), o, uint64(round)*104729+11) {
+			second++
+		}
 		if t.Failed() {
 			return
 		}
+	}
+	if second == 0 {
+		t.Error("no round lived long enough to clone the clone")
 	}
 }
 
@@ -93,7 +103,29 @@ func (d *cloneDriver) step(cycle int64, o Options, miss []bool) []int64 {
 	return seqs
 }
 
-func cloneRound(t *testing.T, q iq.Queue, o Options, seed uint64) {
+// cloneOf duplicates a driver through a fresh CloneMap, remapping the
+// program, the in-flight completions and the queue together.
+func cloneOf(t *testing.T, d *cloneDriver, seed uint64) *cloneDriver {
+	t.Helper()
+	m := uop.NewCloneMap()
+	q2 := d.q.Clone(m)
+	if q2.Len() != d.q.Len() {
+		t.Fatalf("seed %d: clone len %d, original len %d", seed, q2.Len(), d.q.Len())
+	}
+	prog2 := make([]*uop.UOp, len(d.prog))
+	for i, u := range d.prog {
+		prog2[i] = m.Get(u)
+	}
+	inF2 := make([]clonePending, len(d.inFlight))
+	for i, pf := range d.inFlight {
+		inF2[i] = clonePending{u: m.Get(pf.u), at: pf.at}
+	}
+	return &cloneDriver{q: q2, prog: prog2, inFlight: inF2, next: d.next, issued: d.issued}
+}
+
+// cloneRound reports whether the round lived long enough to reach the
+// second (clone-of-clone) fork point.
+func cloneRound(t *testing.T, q iq.Queue, o Options, seed uint64) bool {
 	t.Helper()
 	r := &rng{s: seed}
 	prog := buildProg(r, o.Instructions)
@@ -102,9 +134,10 @@ func cloneRound(t *testing.T, q iq.Queue, o Options, seed uint64) {
 		miss[i] = r.intn(3) == 0
 	}
 	cloneAt := int64(5 + r.intn(30))
+	clone2At := cloneAt + int64(1+r.intn(8))
 
 	d := &cloneDriver{q: q, prog: prog}
-	var d2 *cloneDriver
+	var d2, d3 *cloneDriver
 
 	for cycle := int64(1); ; cycle++ {
 		if cycle > o.MaxCycles {
@@ -112,41 +145,34 @@ func cloneRound(t *testing.T, q iq.Queue, o Options, seed uint64) {
 				seed, d.issued, len(prog), cycle, d.q.Name())
 		}
 		if d2 == nil && cycle == cloneAt {
-			m := uop.NewCloneMap()
-			q2 := q.Clone(m)
-			if q2.Len() != q.Len() {
-				t.Fatalf("seed %d: clone len %d, original len %d", seed, q2.Len(), q.Len())
-			}
-			prog2 := make([]*uop.UOp, len(prog))
-			for i, u := range prog {
-				prog2[i] = m.Get(u)
-			}
-			inF2 := make([]clonePending, len(d.inFlight))
-			for i, pf := range d.inFlight {
-				inF2[i] = clonePending{u: m.Get(pf.u), at: pf.at}
-			}
-			d2 = &cloneDriver{q: q2, prog: prog2, inFlight: inF2, next: d.next, issued: d.issued}
+			d2 = cloneOf(t, d, seed)
+		}
+		if d3 == nil && d2 != nil && cycle == clone2At {
+			d3 = cloneOf(t, d2, seed)
 		}
 		seqs := d.step(cycle, o, miss)
-		if d2 != nil {
-			seqs2 := d2.step(cycle, o, miss)
-			if len(seqs) != len(seqs2) {
-				t.Fatalf("seed %d: cycle %d: original issued %v, clone issued %v", seed, cycle, seqs, seqs2)
+		for name, dc := range map[string]*cloneDriver{"clone": d2, "clone-of-clone": d3} {
+			if dc == nil {
+				continue
 			}
-			for i := range seqs {
-				if seqs[i] != seqs2[i] {
-					t.Fatalf("seed %d: cycle %d: original issued %v, clone issued %v", seed, cycle, seqs, seqs2)
-				}
+			seqs2 := dc.step(cycle, o, miss)
+			mismatch := len(seqs) != len(seqs2)
+			for i := 0; !mismatch && i < len(seqs); i++ {
+				mismatch = seqs[i] != seqs2[i]
 			}
-			if d.q.Len() != d2.q.Len() {
-				t.Fatalf("seed %d: cycle %d: original len %d, clone len %d", seed, cycle, d.q.Len(), d2.q.Len())
+			if mismatch {
+				t.Fatalf("seed %d: cycle %d: original issued %v, %s issued %v", seed, cycle, seqs, name, seqs2)
+			}
+			if d.q.Len() != dc.q.Len() {
+				t.Fatalf("seed %d: cycle %d: original len %d, %s len %d", seed, cycle, d.q.Len(), name, dc.q.Len())
 			}
 		}
-		if d.issued == len(prog) && (d2 == nil || d2.issued == len(prog)) {
+		if d.issued == len(prog) &&
+			(d2 == nil || d2.issued == len(prog)) && (d3 == nil || d3.issued == len(prog)) {
 			if d2 == nil {
 				t.Fatalf("seed %d: round drained at cycle %d before the clone point %d", seed, cycle, cloneAt)
 			}
-			return
+			return d3 != nil
 		}
 	}
 }

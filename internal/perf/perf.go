@@ -11,10 +11,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/sim"
 	"repro/internal/uop"
@@ -76,6 +78,36 @@ func fromResult(name string, r testing.BenchmarkResult) Metrics {
 func segmentedCycleLoop(b *testing.B) {
 	b.ReportAllocs()
 	q := core.MustNew(core.DefaultConfig(512, 128))
+	var seq int64
+	for i := 0; i < 400; i++ {
+		in := isa.Inst{Class: isa.IntAlu, Src1: isa.RegNone, Src2: isa.RegNone, Dest: 1 + i%20}
+		u := uop.New(seq, in)
+		seq++
+		if !q.Dispatch(0, u) {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := int64(i + 1)
+		q.BeginCycle(c)
+		for _, u := range q.Issue(c, 8, func(*uop.UOp) bool { return true }) {
+			u.Complete = c + 1
+			q.Writeback(c+1, u)
+			nu := uop.New(seq, u.Inst)
+			seq++
+			q.Dispatch(c, nu)
+		}
+		q.EndCycle(c, true)
+	}
+}
+
+// conventionalCycleLoop is the same steady-state loop over the
+// conventional (ideal) queue, which selects straight off its ready
+// bitmap. It mirrors BenchmarkConventionalQueueCycle.
+func conventionalCycleLoop(b *testing.B) {
+	b.ReportAllocs()
+	q := iq.NewConventional(512)
 	var seq int64
 	for i := 0; i < 400; i++ {
 		in := isa.Inst{Class: isa.IntAlu, Src1: isa.RegNone, Src2: isa.RegNone, Dest: 1 + i%20}
@@ -214,7 +246,8 @@ func Measure() Baseline {
 	}
 
 	b.Workloads = append(b.Workloads,
-		fromResult("segmented_queue_cycle_512", testing.Benchmark(segmentedCycleLoop)))
+		fromResult("segmented_queue_cycle_512", testing.Benchmark(segmentedCycleLoop)),
+		fromResult("conventional_queue_cycle_512", testing.Benchmark(conventionalCycleLoop)))
 
 	type machine struct {
 		name     string
@@ -273,4 +306,36 @@ func ReadJSON(path string) (Baseline, error) {
 		return b, fmt.Errorf("perf: %s: %w", path, err)
 	}
 	return b, nil
+}
+
+// LatestBaseline returns the path of the highest-numbered BENCH_<n>.json
+// in dir, so callers (the CI perf gate, `iqbench -perf-compare auto`)
+// always compare against the newest checked-in baseline instead of a
+// hardcoded file that goes stale when the next one lands.
+func LatestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err != nil {
+			continue
+		}
+		// Sscanf tolerates trailing text; require the exact shape.
+		if e.Name() != fmt.Sprintf("BENCH_%d.json", n) {
+			continue
+		}
+		if n > bestN {
+			bestN, best = n, filepath.Join(dir, e.Name())
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("perf: no BENCH_<n>.json baseline found in %s", dir)
+	}
+	return best, nil
 }

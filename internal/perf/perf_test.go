@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -67,6 +68,31 @@ func TestCompareCleanWithinThreshold(t *testing.T) {
 	}}
 	if warnings := Compare(base, cur, 0.5); len(warnings) != 0 {
 		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+}
+
+// TestLatestBaseline: the auto-baseline picker takes the highest-numbered
+// BENCH_<n>.json, compares numerically (BENCH_10 beats BENCH_9), ignores
+// lookalike names, and errors when no baseline exists.
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LatestBaseline(dir); err == nil {
+		t.Fatal("expected error for a directory with no baselines")
+	}
+	for _, name := range []string{
+		"BENCH_2.json", "BENCH_9.json", "BENCH_10.json",
+		"BENCH_3.json.bak", "BENCH_x.json", "NOTBENCH_99.json",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_10.json"); got != want {
+		t.Fatalf("LatestBaseline = %q, want %q", got, want)
 	}
 }
 

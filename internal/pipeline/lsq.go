@@ -36,6 +36,10 @@ type LSQ struct {
 	fwdDoneFn   func(t int64, arg any)
 	missNotifFn func(t int64, arg any)
 
+	// cover indexes the bytes written by forwarding-eligible stores,
+	// keyed by 16-byte block; rebuilt each Tick (see the walk).
+	cover map[uint64]uint16
+
 	forwards       uint64
 	mshrRejects    uint64
 	loadsIssued    uint64
@@ -109,6 +113,43 @@ func overlap(a1 uint64, s1 uint8, a2 uint64, s2 uint8) bool {
 	return a1 < a2+uint64(s2) && a2 < a1+uint64(s1)
 }
 
+// addCover marks the bytes [addr, addr+size) in the block coverage index.
+func addCover(m map[uint64]uint16, addr uint64, size uint8) {
+	end := addr + uint64(size) - 1
+	for b := addr >> 4; b <= end>>4; b++ {
+		lo, hi := uint64(0), uint64(15)
+		if b == addr>>4 {
+			lo = addr & 15
+		}
+		if b == end>>4 {
+			hi = end & 15
+		}
+		m[b] |= uint16(1)<<(hi+1) - uint16(1)<<lo
+	}
+}
+
+// hitCover reports whether any byte of [addr, addr+size) is covered.
+func hitCover(m map[uint64]uint16, addr uint64, size uint8) bool {
+	end := addr + uint64(size) - 1
+	for b := addr >> 4; b <= end>>4; b++ {
+		w, ok := m[b]
+		if !ok {
+			continue
+		}
+		lo, hi := uint64(0), uint64(15)
+		if b == addr>>4 {
+			lo = addr & 15
+		}
+		if b == end>>4 {
+			hi = end & 15
+		}
+		if w&(uint16(1)<<(hi+1)-uint16(1)<<lo) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Tick drains retired store writes and initiates eligible load accesses,
 // bounded by the cache read/write ports.
 func (l *LSQ) Tick(cycle int64) {
@@ -126,15 +167,28 @@ func (l *LSQ) Tick(cycle int64) {
 
 	// Loads, oldest first. An older store with an unknown address blocks
 	// every younger load (conservative disambiguation, §5).
+	//
+	// Forwarding only needs "does any older store write a byte this load
+	// reads", so instead of scanning the store list per load, the walk
+	// maintains a byte-coverage index: retired writes seed it (they are
+	// older than every in-flight load), and each known-address store adds
+	// its bytes as the walk passes it, so a load's query sees exactly the
+	// stores that precede it in program order.
 	rd := 0
 	unknownStore := false
-	var knownStores []*uop.UOp
+	if l.cover == nil {
+		l.cover = make(map[uint64]uint16, 64)
+	}
+	clear(l.cover)
+	for _, w := range l.writeQ {
+		addCover(l.cover, w.addr, w.size)
+	}
 	for _, u := range l.entries {
 		if u.IsStore() {
 			if u.EADone == uop.NotYet || u.EADone > cycle {
 				unknownStore = true
 			} else {
-				knownStores = append(knownStores, u)
+				addCover(l.cover, u.Inst.Addr, u.Inst.Size)
 				// A store retires once both its address and its data are
 				// known; the EA issued on the address alone.
 				if u.Complete == uop.NotYet && u.OperandReady(0, cycle) {
@@ -153,22 +207,7 @@ func (l *LSQ) Tick(cycle int64) {
 			l.blockedByStore++
 			continue
 		}
-		// Store-to-load forwarding: the youngest older overlapping store.
-		var fwd *uop.UOp
-		for _, st := range knownStores {
-			if overlap(u.Inst.Addr, u.Inst.Size, st.Inst.Addr, st.Inst.Size) {
-				fwd = st
-			}
-		}
-		fwdFromWriteQ := false
-		if fwd == nil {
-			for _, w := range l.writeQ {
-				if overlap(u.Inst.Addr, u.Inst.Size, w.addr, w.size) {
-					fwdFromWriteQ = true
-				}
-			}
-		}
-		if fwd != nil || fwdFromWriteQ {
+		if hitCover(l.cover, u.Inst.Addr, u.Inst.Size) {
 			l.forwards++
 			u.MemKind = uop.MemHit
 			u.Complete = cycle + 1

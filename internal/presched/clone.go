@@ -28,6 +28,19 @@ func (q *PreschedIQ) Clone(m *uop.CloneMap) iq.Queue {
 		n.buf[i] = m.Get(u)
 	}
 	n.bufAt = append([]int64(nil), q.bufAt...)
+	n.bufH = append([]int32(nil), q.bufH...)
+	n.tslot = make([]*uop.UOp, len(q.tslot))
+	for i, u := range q.tslot {
+		n.tslot[i] = m.Get(u)
+	}
+	n.free = append([]int32(nil), q.free...)
+	n.readyW = append([]uint64(nil), q.readyW...)
+	n.storeW = append([]uint64(nil), q.storeW...)
+	n.sb = q.sb.Clone(m)
+	n.unresolved = make([]*uop.UOp, len(q.unresolved))
+	for i, u := range q.unresolved {
+		n.unresolved[i] = m.Get(u)
+	}
 	n.avail = append([]availEntry(nil), q.avail...)
 	for i := range n.avail {
 		n.avail[i].producer = m.Get(n.avail[i].producer)

@@ -13,7 +13,9 @@ package presched
 
 import (
 	"fmt"
+	"math/bits"
 
+	"repro/internal/bitvec"
 	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/stats"
@@ -68,6 +70,13 @@ type availEntry struct {
 }
 
 // PreschedIQ implements iq.Queue.
+//
+// Only the issue buffer participates in wakeup; its readiness state is a
+// ticket-indexed bitmap maintained event-driven by an iq.Scoreboard.
+// Each buffer entry holds a ticket from a small freelist; the buffer scan
+// in Issue and the camper pick in recycleCampers test one bit instead of
+// re-evaluating the entry's operands, and the unreadiness statistic is a
+// popcount.
 type PreschedIQ struct {
 	cfg   Config
 	lines [][]*uop.UOp // ring buffer of rows
@@ -75,7 +84,20 @@ type PreschedIQ struct {
 	base  int64        // predicted-ready cycle of the oldest row
 	buf   []*uop.UOp   // issue buffer
 	bufAt []int64      // cycle each buffer entry arrived (parallel to buf)
+	bufH  []int32      // scoreboard ticket of each entry (parallel to buf)
 	total int
+	now   int64 // current cycle; clocks wakeup deliveries
+
+	tslot  []*uop.UOp // ticket -> buffer instruction
+	free   []int32    // free tickets (LIFO)
+	readyW []uint64   // ticket-indexed: in buffer and issue-ready
+	storeW []uint64   // ticket-indexed: buffered stores (Ready-stat correction)
+	sb     iq.Scoreboard
+
+	// unresolved holds issued producers whose completion time was still
+	// unknown when they left the queue; the next cycle re-checks them
+	// (the execution core stamps Complete right after Issue returns).
+	unresolved []*uop.UOp
 
 	outScratch []*uop.UOp // backs Issue's result; reused every cycle
 
@@ -99,12 +121,21 @@ func New(cfg Config) (*PreschedIQ, error) {
 	if threads < 1 {
 		threads = 1
 	}
-	return &PreschedIQ{
-		cfg:   cfg,
-		lines: make([][]*uop.UOp, cfg.Lines),
-		avail: make([]availEntry, threads*isa.NumRegs),
-		base:  0,
-	}, nil
+	q := &PreschedIQ{
+		cfg:    cfg,
+		lines:  make([][]*uop.UOp, cfg.Lines),
+		avail:  make([]availEntry, threads*isa.NumRegs),
+		base:   0,
+		tslot:  make([]*uop.UOp, cfg.IssueBuffer),
+		free:   make([]int32, cfg.IssueBuffer),
+		readyW: bitvec.New(cfg.IssueBuffer),
+		storeW: bitvec.New(cfg.IssueBuffer),
+	}
+	for i := range q.free {
+		q.free[i] = int32(cfg.IssueBuffer - 1 - i)
+	}
+	q.sb.Grow(cfg.IssueBuffer)
+	return q, nil
 }
 
 // availRow returns a thread's availability-table entry for reg.
@@ -134,10 +165,66 @@ func (q *PreschedIQ) Len() int { return q.total }
 // dispatch cycle, as the paper charges (§5).
 func (q *PreschedIQ) ExtraDispatchStages() int { return 1 }
 
+// wake delivers p's now-known completion time to parked buffer entries.
+func (q *PreschedIQ) wake(cycle int64, p *uop.UOp) {
+	for _, h := range q.sb.Wake(p, cycle) {
+		bitvec.Set(q.readyW, int(h))
+	}
+}
+
+// advance moves the queue's clock to cycle: re-check issued producers
+// whose completion time was unknown and deliver scheduled wakeups.
+func (q *PreschedIQ) advance(cycle int64) {
+	q.now = cycle
+	if len(q.unresolved) > 0 {
+		kept := q.unresolved[:0]
+		for _, u := range q.unresolved {
+			if u.Complete == uop.NotYet {
+				kept = append(kept, u)
+				continue
+			}
+			q.wake(cycle, u)
+		}
+		for i := len(kept); i < len(q.unresolved); i++ {
+			q.unresolved[i] = nil
+		}
+		q.unresolved = kept
+	}
+	for _, h := range q.sb.Due(cycle) {
+		bitvec.Set(q.readyW, int(h))
+	}
+}
+
+// bufEnter places u in the issue buffer, assigning a scoreboard ticket.
+func (q *PreschedIQ) bufEnter(u *uop.UOp, cycle int64) {
+	t := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	q.tslot[t] = u
+	if u.IsStore() {
+		bitvec.Set(q.storeW, int(t))
+	}
+	if q.sb.Track(t, u, cycle) {
+		bitvec.Set(q.readyW, int(t))
+	}
+	q.buf = append(q.buf, u)
+	q.bufAt = append(q.bufAt, cycle)
+	q.bufH = append(q.bufH, t)
+}
+
+// bufLeave releases ticket t after its instruction left the buffer.
+func (q *PreschedIQ) bufLeave(t int32) {
+	q.sb.Untrack(t)
+	q.tslot[t] = nil
+	bitvec.Clear(q.readyW, int(t))
+	bitvec.Clear(q.storeW, int(t))
+	q.free = append(q.free, t)
+}
+
 // BeginCycle implements iq.Queue: the oldest due row drains into the issue
 // buffer; the array advances one row per cycle at most, and stalls while
 // the buffer lacks space.
 func (q *PreschedIQ) BeginCycle(cycle int64) {
+	q.advance(cycle)
 	if q.base <= cycle {
 		// Recycling (Michaud & Seznec): instructions that reached the
 		// issue buffer before their operands — a mispredicted load
@@ -153,8 +240,7 @@ func (q *PreschedIQ) BeginCycle(cycle int64) {
 			if len(q.buf) >= q.cfg.IssueBuffer {
 				break
 			}
-			q.buf = append(q.buf, u)
-			q.bufAt = append(q.bufAt, cycle)
+			q.bufEnter(u, cycle)
 			moved++
 		}
 		if moved > 0 {
@@ -167,17 +253,24 @@ func (q *PreschedIQ) BeginCycle(cycle int64) {
 		}
 	}
 
-	// Statistics (gated behind the sampling knob: the unreadiness scan
-	// walks the whole issue buffer).
 	if every := int64(q.cfg.StatsEvery); every <= 1 || cycle%every == 0 {
 		q.stBufOcc.Observe(float64(len(q.buf)))
-		unready := 0
-		for _, u := range q.buf {
-			if !u.Ready(cycle) {
-				unready++
+		// The ready bitmap tracks issue readiness, under which a store
+		// waits only for its address; the unreadiness statistic counts
+		// full operand readiness, so discount ready stores with pending
+		// data before subtracting.
+		ready := bitvec.Count(q.readyW)
+		for k := range q.readyW {
+			w := q.readyW[k] & q.storeW[k]
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				if !q.tslot[k<<6+b].OperandReady(0, cycle) {
+					ready--
+				}
 			}
 		}
-		q.stBufUnready.Observe(float64(unready))
+		q.stBufUnready.Observe(float64(len(q.buf) - ready))
 		q.stArrayOcc.Observe(float64(q.total - len(q.buf)))
 	}
 }
@@ -191,7 +284,7 @@ func (q *PreschedIQ) recycleCampers(cycle int64, need int) {
 	for n := 0; n < need; n++ {
 		pick := -1
 		for i := len(q.buf) - 1; i >= 0; i-- {
-			if !q.buf[i].IssueReady(cycle) {
+			if !bitvec.Test(q.readyW, int(q.bufH[i])) {
 				pick = i
 				break
 			}
@@ -200,8 +293,10 @@ func (q *PreschedIQ) recycleCampers(cycle int64, need int) {
 			return // every camper is ready; they will issue
 		}
 		u := q.buf[pick]
+		q.bufLeave(q.bufH[pick])
 		q.buf = append(q.buf[:pick], q.buf[pick+1:]...)
 		q.bufAt = append(q.bufAt[:pick], q.bufAt[pick+1:]...)
+		q.bufH = append(q.bufH[:pick], q.bufH[pick+1:]...)
 
 		d := int64(unknownDelay)
 		known := true
@@ -255,13 +350,11 @@ func (q *PreschedIQ) recycleCampers(cycle int64, need int) {
 			if oldest == nil {
 				// No array instructions at all: give up (cannot happen
 				// while placement fails, but stay safe).
-				q.buf = append(q.buf, u)
-				q.bufAt = append(q.bufAt, cycle)
+				q.bufEnter(u, cycle)
 				return
 			}
 			q.lines[oldRow] = append(q.lines[oldRow][:oldIdx], q.lines[oldRow][oldIdx+1:]...)
-			q.buf = append(q.buf, oldest)
-			q.bufAt = append(q.bufAt, cycle)
+			q.bufEnter(oldest, cycle)
 			placed = oldRow
 		}
 		q.lines[placed] = append(q.lines[placed], u)
@@ -273,23 +366,34 @@ func (q *PreschedIQ) recycleCampers(cycle int64, need int) {
 // buffer only. The returned slice is owned by the queue and valid until
 // the next call.
 func (q *PreschedIQ) Issue(cycle int64, max int, tryIssue func(*uop.UOp) bool) []*uop.UOp {
+	if cycle != q.now {
+		// Unit-test drivers may skip BeginCycle; deliver wakeups here.
+		q.advance(cycle)
+	}
 	out := q.outScratch[:0]
 	kept := q.buf[:0]
 	keptAt := q.bufAt[:0]
+	keptH := q.bufH[:0]
 	for i, u := range q.buf {
-		if len(out) < max && q.bufAt[i] < cycle && u.IssueReady(cycle) && tryIssue(u) {
+		if len(out) < max && q.bufAt[i] < cycle && bitvec.Test(q.readyW, int(q.bufH[i])) && tryIssue(u) {
 			u.IssueCycle = cycle
 			out = append(out, u)
+			q.bufLeave(q.bufH[i])
+			if u.Inst.HasDest() {
+				q.unresolved = append(q.unresolved, u)
+			}
 			continue
 		}
 		kept = append(kept, u)
 		keptAt = append(keptAt, q.bufAt[i])
+		keptH = append(keptH, q.bufH[i])
 	}
 	for i := len(kept); i < len(q.buf); i++ {
 		q.buf[i] = nil
 	}
 	q.buf = kept
 	q.bufAt = keptAt
+	q.bufH = keptH
 	q.total -= len(out)
 	q.outScratch = out
 	q.stIssued.Add(uint64(len(out)))
@@ -368,12 +472,20 @@ func (q *PreschedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 // post-dispatch correction mechanism — the paper's central criticism.
 func (q *PreschedIQ) NotifyLoadMiss(cycle int64, u *uop.UOp) {}
 
-// NotifyLoadComplete implements iq.Queue (no-op; future dependents use the
-// resolved completion time through the producer edge).
-func (q *PreschedIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {}
+// NotifyLoadComplete implements iq.Queue: the load's completion cycle is
+// now known, so wake buffered consumers parked on it. (Future dependents
+// use the resolved completion time through the producer edge.) The wake
+// is clocked by the queue's own cycle, not the caller's stamp, since some
+// drivers announce writebacks scheduled for a future cycle.
+func (q *PreschedIQ) NotifyLoadComplete(cycle int64, u *uop.UOp) {
+	q.wake(q.now, u)
+}
 
-// Writeback implements iq.Queue: release the availability-table row.
+// Writeback implements iq.Queue: wake parked consumers (see
+// NotifyLoadComplete for the clocking) and release the
+// availability-table row.
 func (q *PreschedIQ) Writeback(cycle int64, u *uop.UOp) {
+	q.wake(q.now, u)
 	if !u.Inst.HasDest() {
 		return
 	}

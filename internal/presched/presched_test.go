@@ -200,8 +200,10 @@ func TestBufferStallsArray(t *testing.T) {
 	if q.Len() != 4 {
 		t.Fatalf("len = %d; array must retain the remainder", q.Len())
 	}
-	// Once the ghost completes, everything drains.
+	// Once the ghost completes, everything drains. The writeback call
+	// delivers the wakeup, as the pipeline would for a real producer.
 	ghost.Complete = 7
+	q.Writeback(7, ghost)
 	for cycle := int64(7); cycle <= 14; cycle++ {
 		q.BeginCycle(cycle)
 		q.Issue(cycle, 8, always)

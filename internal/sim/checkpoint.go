@@ -32,6 +32,10 @@ func NewCheckpoint(cfg Config, workload string, seed uint64, warm int64) (*Check
 	}
 	src := trace.NewForkSource(base)
 	cur := src.Fork()
+	// No cursor ever starts below the warm frontier, so live trimming can
+	// run from the first instruction: the warmup prefix is freed as it is
+	// consumed instead of accumulating until the explicit trim below.
+	src.TrimBefore(0)
 	e, err := NewEngine(cfg, []trace.Stream{cur})
 	if err != nil {
 		return nil, err
@@ -47,6 +51,17 @@ func NewCheckpoint(cfg Config, workload string, seed uint64, warm int64) (*Check
 
 // Workload returns the checkpointed workload's name.
 func (ck *Checkpoint) Workload() string { return ck.template.ctxs[0].workload }
+
+// Release declares the checkpoint done forking: its template cursor —
+// pinned at the warm frontier, which forces the fork source to keep the
+// whole measured suffix memoised for potential future forks — is
+// unregistered, so the source's live trimming can follow the machines
+// already forked instead. Fork must not be called after Release.
+func (ck *Checkpoint) Release() {
+	if c, ok := ck.template.ctxs[0].stream.(*trace.ForkCursor); ok {
+		c.Release()
+	}
+}
 
 // Fork returns a fresh machine resuming from the checkpoint under cfg,
 // which may vary the queue design, queue size, widths, and ROB/LSQ sizes

@@ -26,11 +26,27 @@ const forkChunk = 1 << 12
 // a mutex; trailing cursors read the memo lock-free. Publication is via
 // an atomic instruction count: a cursor may read memo slot i only after
 // observing count > i, which orders the read after the slot's write.
+//
+// The source keeps a registry of its live cursors. Once TrimBefore has
+// been called (declaring that no cursor will ever start below the trim
+// point again — origin forks are dead from then on), the source trims
+// itself as the memo grows: whenever the leading cursor allocates a new
+// chunk, every chunk below the minimum live cursor position is released.
+// A long measured run's footprint is then bounded by the spread between
+// the fastest and slowest cursor rather than the whole measured suffix.
 type ForkSource struct {
 	name string
 
-	mu   sync.Mutex // guards base and memo extension
+	mu   sync.Mutex // guards base, memo extension, the registry, and trimming
 	base Stream
+
+	// curs are the live cursors; their minimum position bounds automatic
+	// trimming. Cursors register at Fork and leave at Release.
+	curs []*ForkCursor
+	// liveTrim arms automatic trimming; set by the first TrimBefore.
+	liveTrim bool
+	// lowChunk is the first chunk index still memoised (all below are nil).
+	lowChunk int
 
 	chunks atomic.Pointer[[]*[forkChunk]isa.Inst]
 	count  atomic.Int64 // instructions memoised and published
@@ -48,7 +64,13 @@ func NewForkSource(base Stream) *ForkSource {
 }
 
 // Fork returns a new cursor positioned at the source's origin.
-func (s *ForkSource) Fork() *ForkCursor { return &ForkCursor{src: s} }
+func (s *ForkSource) Fork() *ForkCursor {
+	c := &ForkCursor{src: s}
+	s.mu.Lock()
+	s.curs = append(s.curs, c)
+	s.mu.Unlock()
+	return c
+}
 
 // extend memoises instructions from base until target is covered (or the
 // base is exhausted).
@@ -64,6 +86,11 @@ func (s *ForkSource) extend(target int64) {
 		}
 		chunks := *s.chunks.Load()
 		if int(n/forkChunk) == len(chunks) {
+			// A new chunk is about to be pinned: drop the ones every live
+			// cursor has already replayed, so the resident window slides
+			// with the cursors instead of accumulating.
+			s.autoTrimLocked()
+			chunks = *s.chunks.Load()
 			nc := make([]*[forkChunk]isa.Inst, len(chunks)+1)
 			copy(nc, chunks)
 			nc[len(chunks)] = new([forkChunk]isa.Inst)
@@ -75,19 +102,54 @@ func (s *ForkSource) extend(target int64) {
 	}
 }
 
-// TrimBefore releases the memo chunks wholly below pos, freeing the
-// warmup prefix once every future cursor is known to start at or after
-// pos. It must not be called concurrently with cursor reads; callers
-// trim once, between warming and forking.
+// autoTrimLocked trims behind the minimum live cursor. Callers hold s.mu.
+func (s *ForkSource) autoTrimLocked() {
+	if !s.liveTrim || len(s.curs) == 0 {
+		return
+	}
+	min := s.curs[0].pos.Load()
+	for _, c := range s.curs[1:] {
+		if p := c.pos.Load(); p < min {
+			min = p
+		}
+	}
+	s.trimBeforeLocked(min)
+}
+
+// TrimBefore releases the memo chunks wholly below pos. Calling it is the
+// caller's declaration that no cursor will ever read below pos again —
+// from then on new cursors must come from forking live cursors (an origin
+// cursor from Fork would read the freed prefix) — and it arms live
+// trimming: as the memo grows, the source keeps releasing chunks behind
+// the minimum live cursor on its own.
+//
+// Trimming is safe concurrently with cursor reads: the chunk slice is
+// replaced copy-on-write, a cursor publishes its position before reading
+// the slot it points at, and only chunks strictly below the minimum
+// published position are freed.
 func (s *ForkSource) TrimBefore(pos int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.liveTrim = true
+	s.trimBeforeLocked(pos)
+}
+
+// trimBeforeLocked nils the chunks wholly below pos. Callers hold s.mu.
+func (s *ForkSource) trimBeforeLocked(pos int64) {
 	chunks := *s.chunks.Load()
+	lo := int(pos / forkChunk)
+	if lo > len(chunks) {
+		lo = len(chunks)
+	}
+	if lo <= s.lowChunk {
+		return
+	}
 	nc := make([]*[forkChunk]isa.Inst, len(chunks))
 	copy(nc, chunks)
-	for i := 0; i < int(pos/forkChunk) && i < len(nc); i++ {
+	for i := s.lowChunk; i < lo; i++ {
 		nc[i] = nil
 	}
+	s.lowChunk = lo
 	s.chunks.Store(&nc)
 }
 
@@ -95,30 +157,57 @@ func (s *ForkSource) TrimBefore(pos int64) {
 // Forkable; cursors on the same source may advance concurrently.
 type ForkCursor struct {
 	src *ForkSource
-	pos int64
+	pos atomic.Int64
 }
 
 // Name implements Stream.
 func (c *ForkCursor) Name() string { return c.src.name }
 
 // Pos returns the cursor's position relative to the source's origin.
-func (c *ForkCursor) Pos() int64 { return c.pos }
+func (c *ForkCursor) Pos() int64 { return c.pos.Load() }
 
 // Fork implements Forkable: the new cursor continues from c's position.
-func (c *ForkCursor) Fork() Stream { return &ForkCursor{src: c.src, pos: c.pos} }
+func (c *ForkCursor) Fork() Stream {
+	n := &ForkCursor{src: c.src}
+	n.pos.Store(c.pos.Load())
+	c.src.mu.Lock()
+	c.src.curs = append(c.src.curs, n)
+	c.src.mu.Unlock()
+	return n
+}
+
+// Release unregisters the cursor from its source, so live trimming no
+// longer waits for it. A checkpoint template releases its cursor when the
+// last grid point has forked; without that, the cursor pinned at the warm
+// frontier would hold the whole measured suffix in memory. The cursor
+// must not be read or forked after Release.
+func (c *ForkCursor) Release() {
+	s := c.src
+	s.mu.Lock()
+	for i, cc := range s.curs {
+		if cc == c {
+			s.curs[i] = s.curs[len(s.curs)-1]
+			s.curs[len(s.curs)-1] = nil
+			s.curs = s.curs[:len(s.curs)-1]
+			break
+		}
+	}
+	s.mu.Unlock()
+}
 
 // Next implements Stream.
 func (c *ForkCursor) Next() (isa.Inst, bool) {
 	for {
-		if n := c.src.count.Load(); c.pos < n {
+		p := c.pos.Load()
+		if n := c.src.count.Load(); p < n {
 			chunks := *c.src.chunks.Load()
-			in := chunks[c.pos/forkChunk][c.pos%forkChunk]
-			c.pos++
+			in := chunks[p/forkChunk][p%forkChunk]
+			c.pos.Store(p + 1)
 			return in, true
 		}
-		if end := c.src.end.Load(); end >= 0 && c.pos >= end {
+		if end := c.src.end.Load(); end >= 0 && p >= end {
 			return isa.Inst{}, false
 		}
-		c.src.extend(c.pos)
+		c.src.extend(p)
 	}
 }

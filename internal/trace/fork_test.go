@@ -68,4 +68,90 @@ func TestForkTrim(t *testing.T) {
 	}
 }
 
+// TestLiveTrimFollowsMinimumCursor: once TrimBefore arms live trimming,
+// the source keeps freeing chunks behind the slowest live cursor as the
+// memo grows, never frees anything a live cursor still needs, and
+// replays the reference exactly throughout. Releasing a cursor (as a
+// checkpoint does when its last grid point has forked) stops it pinning
+// the window.
+func TestLiveTrimFollowsMinimumCursor(t *testing.T) {
+	const n = 10 * forkChunk
+	ref := Take(Limit(NewGcc(5), n), n)
+	src := NewForkSource(Limit(NewGcc(5), n))
+
+	chunkAt := func(i int) bool {
+		cs := *src.chunks.Load()
+		return i < len(cs) && cs[i] != nil
+	}
+	advance := func(c *ForkCursor, k int64) {
+		t.Helper()
+		for i := int64(0); i < k; i++ {
+			in, ok := c.Next()
+			if !ok {
+				t.Fatalf("cursor exhausted at %d", c.Pos())
+			}
+			if in != ref[c.Pos()-1] {
+				t.Fatalf("cursor diverged at %d", c.Pos()-1)
+			}
+		}
+	}
+
+	cur := src.Fork()
+	advance(cur, 2*forkChunk+7)
+	src.TrimBefore(cur.Pos())
+	if chunkAt(0) || chunkAt(1) {
+		t.Fatal("TrimBefore left warmup chunks resident")
+	}
+
+	fast := cur.Fork().(*ForkCursor)
+	slow := cur.Fork().(*ForkCursor)
+	cur.Release() // the template cursor is done forking
+
+	// The leading cursor races five chunks ahead: the memo growth keeps
+	// trimming, but never past the slow cursor still parked at the fork
+	// point.
+	advance(fast, 5*forkChunk)
+	if !chunkAt(2) {
+		t.Fatal("live trim freed a chunk the slow cursor still needs")
+	}
+	advance(slow, 3*forkChunk)
+
+	// Both cursors drain concurrently: the leader's remaining memo growth
+	// trims behind the slow cursor's (moving) position while the slow
+	// cursor reads — the race detector covers trim versus read.
+	var wg sync.WaitGroup
+	drain := func(c *ForkCursor) {
+		defer wg.Done()
+		pos := c.Pos()
+		for {
+			in, ok := c.Next()
+			if !ok {
+				break
+			}
+			if in != ref[pos] {
+				t.Errorf("post-trim replay diverged at %d", pos)
+				return
+			}
+			pos++
+		}
+		if pos != n {
+			t.Errorf("cursor exhausted at %d, want %d", pos, n)
+		}
+	}
+	wg.Add(2)
+	go drain(fast)
+	go drain(slow)
+	wg.Wait()
+
+	// The slow cursor started the drain at 5*forkChunk+7, so whichever
+	// cursor led the remaining chunk allocations trimmed at least
+	// everything below chunk 5, while the live tail survives.
+	if chunkAt(2) || chunkAt(3) || chunkAt(4) {
+		t.Error("memo prefix behind the minimum live cursor was not trimmed")
+	}
+	if !chunkAt(9) {
+		t.Error("live trim freed the memo tail")
+	}
+}
+
 var _ Forkable = (*ForkCursor)(nil)
