@@ -12,9 +12,18 @@
 //	iqbench -experiment table2 -benchmarks swim,equake
 //	iqbench -perf-json BENCH_3.json # simulator performance baseline
 //	iqbench -perf-compare auto      # fresh capture vs newest checked-in baseline
+//
+// Sweeps can reuse warmups across processes and spread a grid over
+// machines:
+//
+//	iqbench -ckpt-dir .ckpt -experiment table2      # warm once ever, fork after
+//	iqbench -experiment table2 -shard 0/2 -out s0.json
+//	iqbench -experiment table2 -shard 1/2 -out s1.json
+//	iqbench -merge s0.json,s1.json -out merged.json # ≡ the single-process run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +45,10 @@ func main() {
 		perfJSON    = flag.String("perf-json", "", "measure simulator performance (pinned workloads) and write a BENCH json baseline to this path, instead of running experiments")
 		perfCompare = flag.String("perf-compare", "", "measure simulator performance and compare against the BENCH json baseline at this path (warn-only), instead of running experiments; \"auto\" picks the highest-numbered BENCH_<n>.json in the current directory")
 		perfThresh  = flag.Float64("perf-threshold", 0.5, "tolerated fractional slowdown for -perf-compare (0.5 = 50%)")
+		ckptDir     = flag.String("ckpt-dir", "", "directory backing the warm-checkpoint cache: warmups found there are loaded instead of re-simulated, new ones are saved for later runs")
+		shard       = flag.String("shard", "", "run only shard i/n of the experiment grid (format i/n) and write a shard JSON; requires a single -experiment")
+		out         = flag.String("out", "", "output path for -shard / -merge JSON (default stdout)")
+		mergeList   = flag.String("merge", "", "comma-separated shard JSON files: merge them, verify completeness, write the combined JSON and render the experiment")
 	)
 	flag.Parse()
 
@@ -93,6 +106,39 @@ func main() {
 	o.Parallel = *par
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *ckptDir != "" {
+		o.CheckpointDir = *ckptDir
+		o.CkptStats = &experiments.CkptStats{}
+	}
+
+	if *mergeList != "" {
+		if err := mergeShardFiles(strings.Split(*mergeList, ","), *out); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: merge: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shard != "" {
+		var si, sn int
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &si, &sn); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: -shard wants i/n (e.g. 0/4), got %q\n", *shard)
+			os.Exit(2)
+		}
+		start := time.Now()
+		sf, err := experiments.RunShard(o, *exp, si, sn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: shard: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeShardJSON(sf, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: shard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[shard %d/%d of %s: %d/%d grid points in %.1fs]\n",
+			si, sn, *exp, len(sf.Results), sf.TotalJobs, time.Since(start).Seconds())
+		printCkptStats(o)
+		return
 	}
 
 	run := func(name string, f func() error) {
@@ -198,4 +244,107 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iqbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	printCkptStats(o)
+}
+
+// printCkptStats reports checkpoint-cache effectiveness when -ckpt-dir
+// is in use.
+func printCkptStats(o experiments.Options) {
+	if o.CkptStats != nil {
+		fmt.Printf("[ckpt-cache: %s]\n", o.CkptStats)
+	}
+}
+
+// writeShardJSON writes a shard (or merged) file as indented JSON to
+// path, or to stdout when path is empty. The encoding is deterministic
+// (Go sorts map keys), so identical result sets produce identical bytes.
+func writeShardJSON(sf *experiments.ShardFile, path string) error {
+	b, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// mergeShardFiles reads shard JSONs, merges them into the
+// single-process-equivalent file, writes it, and renders the
+// experiment's tables from the merged results.
+func mergeShardFiles(paths []string, out string) error {
+	files := make([]*experiments.ShardFile, 0, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		sf := new(experiments.ShardFile)
+		if err := json.Unmarshal(b, sf); err != nil {
+			return fmt.Errorf("%s: %v", p, err)
+		}
+		files = append(files, sf)
+	}
+	merged, err := experiments.MergeShards(files)
+	if err != nil {
+		return err
+	}
+	if err := writeShardJSON(merged, out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[merged %d shards: %d grid points of %s]\n",
+		len(files), len(merged.Results), merged.Experiment)
+	return renderMerged(merged)
+}
+
+// renderMerged prints the experiment tables assembled from a merged
+// shard file, matching the output of the corresponding direct run.
+func renderMerged(sf *experiments.ShardFile) error {
+	o, res := sf.Options(), sf.SimResults()
+	switch sf.Experiment {
+	case "fig2":
+		r, err := experiments.Fig2From(o, res)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 2: 512-entry segmented IQ relative to ideal 512-entry IQ")
+		fmt.Print(r.Table().String())
+	case "table2":
+		r, err := experiments.Table2From(o, res)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 2: chain usage, 512-entry segmented IQ, unlimited chains")
+		fmt.Print(r.Table().String())
+	case "fig3":
+		r, err := experiments.Fig3From(o, res)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 3: IPC across IQ sizes (prescheduled cells show their own capacity)")
+		tabs := r.Tables()
+		for _, wl := range r.Benchmarks {
+			fmt.Print(tabs[wl].String())
+			fmt.Println()
+		}
+	case "intext":
+		r, err := experiments.InTextFrom(o, res)
+		if err != nil {
+			return err
+		}
+		fmt.Println("In-text measurements (§4.3, §4.4, §4.5, §6.1)")
+		fmt.Print(experiments.InTextTable(r).String())
+	case "ablations":
+		r, err := experiments.AblationsFrom(o, res)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Design ablations: IPC at 512 entries, 128 chains, HMP+LRP")
+		fmt.Print(r.Table().String())
+	default:
+		return fmt.Errorf("no renderer for experiment %q", sf.Experiment)
+	}
+	return nil
 }

@@ -1,0 +1,134 @@
+package bpred
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// Checkpoint serialization: the branch structures are the bulk of a warmed
+// machine's trained state, so they encode their full table contents — the
+// same state Clone deep-copies. Each section is self-describing (the
+// predictor writes its own Config, the BTB its geometry) and validated on
+// decode, so a file whose branch-structure geometry drifted from its
+// header is rejected here rather than producing a silently mistrained
+// machine.
+
+// Config returns the configuration the predictor was built with, so a
+// checkpoint loader can verify a decoded predictor against the machine
+// configuration it is being wired into.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Geometry returns the BTB's total entry count and associativity.
+func (b *BTB) Geometry() (entries, ways int) { return b.sets * b.ways, b.ways }
+
+// EncodeTo writes the predictor's configuration, tables and statistics.
+func (p *Predictor) EncodeTo(w *codec.Writer) {
+	w.Int(p.cfg.GlobalHistBits)
+	w.Int(p.cfg.LocalHistBits)
+	w.Int(p.cfg.LocalEntries)
+	w.Int(p.cfg.ChoiceHistBits)
+	w.Int(p.cfg.LocalCtrBits)
+	w.Int(p.cfg.GlobalCtrBits)
+	w.Int(p.cfg.ChoiceCtrBits)
+	w.U32(p.globalHist)
+	for _, c := range p.globalPHT {
+		w.U32(c.Value())
+	}
+	for _, h := range p.localHist {
+		w.U32(h)
+	}
+	for _, c := range p.localPHT {
+		w.U32(c.Value())
+	}
+	for _, c := range p.choicePHT {
+		w.U32(c.Value())
+	}
+	w.U64(p.lookups)
+	w.U64(p.correct)
+	w.U64(p.globalUsed)
+	w.U64(p.localUsed)
+}
+
+// DecodePredictor reads a predictor written by EncodeTo.
+func DecodePredictor(r *codec.Reader) (*Predictor, error) {
+	cfg := Config{
+		GlobalHistBits: r.Int(),
+		LocalHistBits:  r.Int(),
+		LocalEntries:   r.Int(),
+		ChoiceHistBits: r.Int(),
+		LocalCtrBits:   r.Int(),
+		GlobalCtrBits:  r.Int(),
+		ChoiceCtrBits:  r.Int(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.LocalEntries > 1<<24 {
+		return nil, fmt.Errorf("bpred: decoded local-entry count %d implausibly large", cfg.LocalEntries)
+	}
+	p, err := NewPredictor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.globalHist = r.U32()
+	for i := range p.globalPHT {
+		p.globalPHT[i].Set(r.U32())
+	}
+	for i := range p.localHist {
+		p.localHist[i] = r.U32()
+	}
+	for i := range p.localPHT {
+		p.localPHT[i].Set(r.U32())
+	}
+	for i := range p.choicePHT {
+		p.choicePHT[i].Set(r.U32())
+	}
+	p.lookups = r.U64()
+	p.correct = r.U64()
+	p.globalUsed = r.U64()
+	p.localUsed = r.U64()
+	return p, r.Err()
+}
+
+// EncodeTo writes the BTB's geometry, entries and statistics.
+func (b *BTB) EncodeTo(w *codec.Writer) {
+	w.Int(b.sets * b.ways)
+	w.Int(b.ways)
+	for i := range b.lines {
+		e := &b.lines[i]
+		w.Bool(e.valid)
+		w.U64(e.tag)
+		w.U64(e.target)
+		w.U64(e.lru)
+	}
+	w.U64(b.lookups)
+	w.U64(b.hits)
+	w.U64(b.stamp)
+}
+
+// DecodeBTB reads a BTB written by EncodeTo.
+func DecodeBTB(r *codec.Reader) (*BTB, error) {
+	entries, ways := r.Int(), r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if entries < 0 || entries > 1<<24 {
+		return nil, fmt.Errorf("bpred: decoded BTB entry count %d implausibly large", entries)
+	}
+	b, err := NewBTB(entries, ways)
+	if err != nil {
+		return nil, err
+	}
+	for i := range b.lines {
+		e := &b.lines[i]
+		e.valid = r.Bool()
+		e.tag = r.U64()
+		e.target = r.U64()
+		e.lru = r.U64()
+	}
+	b.lookups = r.U64()
+	b.hits = r.U64()
+	b.stamp = r.U64()
+	return b, r.Err()
+}

@@ -35,6 +35,23 @@ type Options struct {
 	Benchmarks []string
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
+	// CheckpointDir, when set, backs the warm-checkpoint cache with a
+	// directory (sim.CheckpointStore): a warmup found on disk is loaded
+	// instead of re-simulated, and a warmup built here is saved for the
+	// next process. Empty keeps checkpoints in-memory only.
+	CheckpointDir string
+	// CkptStats, when non-nil, counts checkpoint-store hits and misses.
+	CkptStats *CkptStats
+}
+
+// CkptStats counts checkpoint-store activity across a batch.
+type CkptStats struct {
+	Hits   atomic.Int64 // warmups skipped by loading a stored checkpoint
+	Misses atomic.Int64 // warmups simulated (and saved to the store)
+}
+
+func (s *CkptStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d", s.Hits.Load(), s.Misses.Load())
 }
 
 // DefaultOptions returns the harness defaults.
@@ -142,7 +159,20 @@ func (c *ckCache) get(j job) (*sim.Checkpoint, error) {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		e.ck, e.err = sim.NewCheckpoint(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
+		if c.o.CheckpointDir == "" {
+			e.ck, e.err = sim.NewCheckpoint(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
+			return
+		}
+		st := &sim.CheckpointStore{Dir: c.o.CheckpointDir}
+		var hit bool
+		e.ck, hit, e.err = st.LoadOrNew(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
+		if s := c.o.CkptStats; s != nil && e.err == nil {
+			if hit {
+				s.Hits.Add(1)
+			} else {
+				s.Misses.Add(1)
+			}
+		}
 	})
 	return e.ck, e.err
 }
@@ -246,6 +276,18 @@ func (o Options) runAllWith(jobs []job, run func(job) (*sim.Result, error)) (map
 	return results, nil
 }
 
+// requireResults checks that res covers a grid completely, so the From
+// assemblers fail with a named missing key instead of a nil dereference
+// when fed an incomplete (e.g. mis-merged) result set.
+func requireResults(res map[string]*sim.Result, jobs []job) error {
+	for _, j := range jobs {
+		if res[j.key] == nil {
+			return fmt.Errorf("experiments: missing result for %s", j.key)
+		}
+	}
+	return nil
+}
+
 // variant describes one segmented-IQ predictor configuration of Figure 2.
 type variant struct {
 	name string
@@ -280,13 +322,10 @@ type Fig2Result struct {
 	IdealIPC map[string]float64
 }
 
-// Fig2 reproduces Figure 2: a 512-entry segmented IQ (sixteen 32-entry
-// segments) in twelve configurations, relative to an ideal single-cycle
-// 512-entry IQ.
-func Fig2(o Options) (*Fig2Result, error) {
-	benches := o.benchmarks()
+// fig2Jobs enumerates Figure 2's grid.
+func fig2Jobs(o Options) []job {
 	var jobs []job
-	for _, wl := range benches {
+	for _, wl := range o.benchmarks() {
 		jobs = append(jobs, job{key: "ideal/" + wl, cfg: sim.DefaultConfig(sim.QueueIdeal, 512), wl: wl})
 		for _, chains := range fig2ChainCounts {
 			for _, v := range fig2Variants {
@@ -295,8 +334,25 @@ func Fig2(o Options) (*Fig2Result, error) {
 			}
 		}
 	}
-	res, err := o.runAll(jobs)
+	return jobs
+}
+
+// Fig2 reproduces Figure 2: a 512-entry segmented IQ (sixteen 32-entry
+// segments) in twelve configurations, relative to an ideal single-cycle
+// 512-entry IQ.
+func Fig2(o Options) (*Fig2Result, error) {
+	res, err := o.runAll(fig2Jobs(o))
 	if err != nil {
+		return nil, err
+	}
+	return Fig2From(o, res)
+}
+
+// Fig2From assembles Figure 2 from already-computed results (a local
+// batch or a merged sharded sweep).
+func Fig2From(o Options, res map[string]*sim.Result) (*Fig2Result, error) {
+	benches := o.benchmarks()
+	if err := requireResults(res, fig2Jobs(o)); err != nil {
 		return nil, err
 	}
 	out := &Fig2Result{
@@ -348,18 +404,31 @@ type Table2Result struct {
 	Peak       map[string]map[string]float64
 }
 
-// Table2 reproduces Table 2: chain usage under the four predictor
-// configurations with unlimited chain wires.
-func Table2(o Options) (*Table2Result, error) {
-	benches := o.benchmarks()
+// table2Jobs enumerates Table 2's grid.
+func table2Jobs(o Options) []job {
 	var jobs []job
-	for _, wl := range benches {
+	for _, wl := range o.benchmarks() {
 		for _, v := range fig2Variants {
 			jobs = append(jobs, job{key: v.name + "/" + wl, cfg: sim.SegmentedConfig(512, 0, v.hmp, v.lrp), wl: wl})
 		}
 	}
-	res, err := o.runAll(jobs)
+	return jobs
+}
+
+// Table2 reproduces Table 2: chain usage under the four predictor
+// configurations with unlimited chain wires.
+func Table2(o Options) (*Table2Result, error) {
+	res, err := o.runAll(table2Jobs(o))
 	if err != nil {
+		return nil, err
+	}
+	return Table2From(o, res)
+}
+
+// Table2From assembles Table 2 from already-computed results.
+func Table2From(o Options, res map[string]*sim.Result) (*Table2Result, error) {
+	benches := o.benchmarks()
+	if err := requireResults(res, table2Jobs(o)); err != nil {
 		return nil, err
 	}
 	out := &Table2Result{
@@ -429,11 +498,10 @@ type Fig3Result struct {
 // Fig3Series are the curve names, in plot order.
 var Fig3Series = []string{"ideal", "comb-128chains", "comb-64chains", "prescheduled"}
 
-// Fig3 reproduces Figure 3 across all benchmarks and queue sizes.
-func Fig3(o Options) (*Fig3Result, error) {
-	benches := o.benchmarks()
+// fig3Jobs enumerates Figure 3's grid.
+func fig3Jobs(o Options) []job {
 	var jobs []job
-	for _, wl := range benches {
+	for _, wl := range o.benchmarks() {
 		for _, size := range Fig3Sizes {
 			jobs = append(jobs,
 				job{key: fmt.Sprintf("ideal/%d/%s", size, wl), cfg: sim.DefaultConfig(sim.QueueIdeal, size), wl: wl},
@@ -445,8 +513,22 @@ func Fig3(o Options) (*Fig3Result, error) {
 			jobs = append(jobs, job{key: fmt.Sprintf("prescheduled/%d/%s", slots, wl), cfg: sim.PrescheduledConfig(slots), wl: wl})
 		}
 	}
-	res, err := o.runAll(jobs)
+	return jobs
+}
+
+// Fig3 reproduces Figure 3 across all benchmarks and queue sizes.
+func Fig3(o Options) (*Fig3Result, error) {
+	res, err := o.runAll(fig3Jobs(o))
 	if err != nil {
+		return nil, err
+	}
+	return Fig3From(o, res)
+}
+
+// Fig3From assembles Figure 3 from already-computed results.
+func Fig3From(o Options, res map[string]*sim.Result) (*Fig3Result, error) {
+	benches := o.benchmarks()
+	if err := requireResults(res, fig3Jobs(o)); err != nil {
 		return nil, err
 	}
 	out := &Fig3Result{Benchmarks: benches, IPC: make(map[string]map[string][]float64)}

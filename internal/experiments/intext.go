@@ -32,20 +32,34 @@ type InTextResult struct {
 	ReadySeg0Share float64
 }
 
-// InText reproduces the in-text measurements of §4.3, §4.4, §4.5 and §6.1
-// for every benchmark.
-func InText(o Options) (map[string]*InTextResult, error) {
-	benches := o.benchmarks()
+// inTextJobs enumerates the in-text measurements' grid.
+func inTextJobs(o Options) []job {
 	var jobs []job
-	for _, wl := range benches {
+	for _, wl := range o.benchmarks() {
 		jobs = append(jobs,
 			job{key: "base/" + wl, cfg: sim.SegmentedConfig(512, 0, false, false), wl: wl},
 			job{key: "hmp/" + wl, cfg: sim.SegmentedConfig(512, 0, true, false), wl: wl},
 			job{key: "comb128/" + wl, cfg: sim.SegmentedConfig(512, 128, true, true), wl: wl},
 		)
 	}
-	res, err := o.runAll(jobs)
+	return jobs
+}
+
+// InText reproduces the in-text measurements of §4.3, §4.4, §4.5 and §6.1
+// for every benchmark.
+func InText(o Options) (map[string]*InTextResult, error) {
+	res, err := o.runAll(inTextJobs(o))
 	if err != nil {
+		return nil, err
+	}
+	return InTextFrom(o, res)
+}
+
+// InTextFrom assembles the in-text measurements from already-computed
+// results.
+func InTextFrom(o Options, res map[string]*sim.Result) (map[string]*InTextResult, error) {
+	benches := o.benchmarks()
+	if err := requireResults(res, inTextJobs(o)); err != nil {
 		return nil, err
 	}
 	out := make(map[string]*InTextResult, len(benches))
@@ -110,33 +124,50 @@ type AblationResult struct {
 // AblationConfigs lists the ablation configurations, in report order.
 var AblationConfigs = []string{"full", "no-pushdown", "no-bypass", "instant-wires"}
 
+// ablationConfig builds one named ablation configuration.
+func ablationConfig(name string) sim.Config {
+	cfg := sim.SegmentedConfig(512, 128, true, true)
+	switch name {
+	case "no-pushdown":
+		cfg.Segmented.Pushdown = false
+	case "no-bypass":
+		cfg.Segmented.Bypass = false
+	case "instant-wires":
+		cfg.Segmented.InstantWires = true
+	}
+	return cfg
+}
+
+// ablationJobs enumerates the ablation grid in report order.
+func ablationJobs(o Options) []job {
+	var jobs []job
+	for _, wl := range o.benchmarks() {
+		for _, name := range AblationConfigs {
+			jobs = append(jobs, job{key: name + "/" + wl, cfg: ablationConfig(name), wl: wl})
+		}
+	}
+	return jobs
+}
+
 // Ablations measures the contribution of each design enhancement at the
 // 512-entry, 128-chain combined configuration.
 func Ablations(o Options) (*AblationResult, error) {
-	benches := o.benchmarks()
-	mk := func(mod func(*sim.Config)) sim.Config {
-		cfg := sim.SegmentedConfig(512, 128, true, true)
-		mod(&cfg)
-		return cfg
-	}
-	cfgs := map[string]sim.Config{
-		"full":          mk(func(*sim.Config) {}),
-		"no-pushdown":   mk(func(c *sim.Config) { c.Segmented.Pushdown = false }),
-		"no-bypass":     mk(func(c *sim.Config) { c.Segmented.Bypass = false }),
-		"instant-wires": mk(func(c *sim.Config) { c.Segmented.InstantWires = true }),
-	}
-	var jobs []job
-	for _, wl := range benches {
-		for name, cfg := range cfgs {
-			jobs = append(jobs, job{key: name + "/" + wl, cfg: cfg, wl: wl})
-		}
-	}
-	res, err := o.runAll(jobs)
+	res, err := o.runAll(ablationJobs(o))
 	if err != nil {
 		return nil, err
 	}
+	return AblationsFrom(o, res)
+}
+
+// AblationsFrom assembles the ablation comparison from already-computed
+// results.
+func AblationsFrom(o Options, res map[string]*sim.Result) (*AblationResult, error) {
+	benches := o.benchmarks()
+	if err := requireResults(res, ablationJobs(o)); err != nil {
+		return nil, err
+	}
 	out := &AblationResult{Benchmarks: benches, IPC: make(map[string]map[string]float64)}
-	for name := range cfgs {
+	for _, name := range AblationConfigs {
 		out.IPC[name] = make(map[string]float64)
 		for _, wl := range benches {
 			out.IPC[name][wl] = res[name+"/"+wl].IPC

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Cross-process sweep sharding. A grid is an ordered job list (sorted by
+// key, so every process derives the identical order); shard i of n runs
+// the jobs at positions i, i+n, i+2n, … and records its results in a
+// ShardFile. Merging the n files reproduces, bit for bit, the result set
+// a single process would have produced — simulations are deterministic
+// and jobs are independent — so a sweep can be spread across machines
+// with no loss of reproducibility. Combined with a shared CheckpointDir,
+// the shards also skip re-warming workloads another shard (or an earlier
+// sweep) has already warmed.
+
+// ShardSchema versions the shard-file JSON layout.
+const ShardSchema = 1
+
+// Experiments lists the shardable experiment grids by name.
+var Experiments = []string{"fig2", "table2", "fig3", "intext", "ablations"}
+
+// experimentJobs returns the named experiment's full grid, sorted by key.
+func experimentJobs(experiment string, o Options) ([]job, error) {
+	var jobs []job
+	switch experiment {
+	case "fig2":
+		jobs = fig2Jobs(o)
+	case "table2":
+		jobs = table2Jobs(o)
+	case "fig3":
+		jobs = fig3Jobs(o)
+	case "intext":
+		jobs = inTextJobs(o)
+	case "ablations":
+		jobs = ablationJobs(o)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have fig2, table2, fig3, intext, ablations)", experiment)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].key < jobs[k].key })
+	return jobs, nil
+}
+
+// RecordedResult is one grid point's result in shard-file form:
+// sim.Result with the statistics flattened to a plain map.
+type RecordedResult struct {
+	Workload     string
+	QueueName    string
+	Instructions int64
+	Cycles       int64
+	IPC          float64
+	Stats        map[string]float64
+}
+
+// ShardFile is the JSON document one sweep shard writes. The header
+// fields pin everything the result set depends on; Merge refuses files
+// whose headers disagree, so results from different grids or scales can
+// never be silently combined.
+type ShardFile struct {
+	Schema     int
+	Experiment string
+	// Shard / NumShards locate this file in the partition. A merged file
+	// (and a single-process run) is shard 0 of 1.
+	Shard     int
+	NumShards int
+	// TotalJobs is the whole grid's size, for merge completeness checks.
+	TotalJobs    int
+	Instructions int64
+	Warmup       int64
+	Seed         uint64
+	Benchmarks   []string `json:",omitempty"`
+	// Results maps job key -> result for this shard's grid positions.
+	Results map[string]*RecordedResult
+}
+
+// RunShard simulates shard `shard` of `numShards` of the named
+// experiment's grid under o. Shard 0 of 1 is exactly the full grid.
+func RunShard(o Options, experiment string, shard, numShards int) (*ShardFile, error) {
+	if numShards < 1 || shard < 0 || shard >= numShards {
+		return nil, fmt.Errorf("experiments: shard %d/%d out of range", shard, numShards)
+	}
+	jobs, err := experimentJobs(experiment, o)
+	if err != nil {
+		return nil, err
+	}
+	var mine []job
+	for i := shard; i < len(jobs); i += numShards {
+		mine = append(mine, jobs[i])
+	}
+	res, err := o.runAll(mine)
+	if err != nil {
+		return nil, err
+	}
+	sf := &ShardFile{
+		Schema:       ShardSchema,
+		Experiment:   experiment,
+		Shard:        shard,
+		NumShards:    numShards,
+		TotalJobs:    len(jobs),
+		Instructions: o.Instructions,
+		Warmup:       o.Warmup,
+		Seed:         o.Seed,
+		Benchmarks:   o.Benchmarks,
+		Results:      make(map[string]*RecordedResult, len(mine)),
+	}
+	for key, r := range res {
+		sf.Results[key] = &RecordedResult{
+			Workload:     r.Workload,
+			QueueName:    r.QueueName,
+			Instructions: r.Instructions,
+			Cycles:       r.Cycles,
+			IPC:          r.IPC,
+			Stats:        r.Stats.Values(),
+		}
+	}
+	return sf, nil
+}
+
+// header returns the fields every shard of one sweep must agree on.
+func (sf *ShardFile) header() string {
+	return fmt.Sprintf("%s n=%d warm=%d seed=%d shards=%d jobs=%d benches=%v",
+		sf.Experiment, sf.Instructions, sf.Warmup, sf.Seed, sf.NumShards, sf.TotalJobs, sf.Benchmarks)
+}
+
+// Options reconstructs the run options a shard file was produced under
+// (scale and workload-set fields only).
+func (sf *ShardFile) Options() Options {
+	return Options{
+		Instructions: sf.Instructions,
+		Warmup:       sf.Warmup,
+		Seed:         sf.Seed,
+		Benchmarks:   sf.Benchmarks,
+	}
+}
+
+// SimResults rebuilds the sim.Result map the From assemblers consume.
+func (sf *ShardFile) SimResults() map[string]*sim.Result {
+	out := make(map[string]*sim.Result, len(sf.Results))
+	for key, r := range sf.Results {
+		out[key] = &sim.Result{
+			Workload:     r.Workload,
+			QueueName:    r.QueueName,
+			Instructions: r.Instructions,
+			Cycles:       r.Cycles,
+			IPC:          r.IPC,
+			Stats:        stats.SetFromValues(r.Stats),
+		}
+	}
+	return out
+}
+
+// MergeShards recombines one complete set of shard files into the file a
+// single-process run would have written (shard 0 of 1): same experiment,
+// same scale, every shard present exactly once, every grid point covered
+// exactly once.
+func MergeShards(files []*ShardFile) (*ShardFile, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("experiments: merge of zero shard files")
+	}
+	first := files[0]
+	if first.Schema != ShardSchema {
+		return nil, fmt.Errorf("experiments: shard schema %d, this build reads %d", first.Schema, ShardSchema)
+	}
+	if len(files) != first.NumShards {
+		return nil, fmt.Errorf("experiments: %d shard files for a %d-shard sweep", len(files), first.NumShards)
+	}
+	seen := make(map[int]bool, len(files))
+	merged := &ShardFile{
+		Schema:       ShardSchema,
+		Experiment:   first.Experiment,
+		Shard:        0,
+		NumShards:    1,
+		TotalJobs:    first.TotalJobs,
+		Instructions: first.Instructions,
+		Warmup:       first.Warmup,
+		Seed:         first.Seed,
+		Benchmarks:   first.Benchmarks,
+		Results:      make(map[string]*RecordedResult, first.TotalJobs),
+	}
+	for _, sf := range files {
+		if sf.Schema != ShardSchema {
+			return nil, fmt.Errorf("experiments: shard schema %d, this build reads %d", sf.Schema, ShardSchema)
+		}
+		if sf.header() != first.header() {
+			return nil, fmt.Errorf("experiments: shard %d header mismatch:\n  %s\n  %s", sf.Shard, sf.header(), first.header())
+		}
+		if seen[sf.Shard] {
+			return nil, fmt.Errorf("experiments: shard %d supplied twice", sf.Shard)
+		}
+		seen[sf.Shard] = true
+		for key, r := range sf.Results {
+			if merged.Results[key] != nil {
+				return nil, fmt.Errorf("experiments: grid point %s in more than one shard", key)
+			}
+			merged.Results[key] = r
+		}
+	}
+	if len(merged.Results) != merged.TotalJobs {
+		return nil, fmt.Errorf("experiments: merged %d results, grid has %d", len(merged.Results), merged.TotalJobs)
+	}
+	return merged, nil
+}

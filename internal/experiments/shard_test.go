@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func shardTestOptions() Options {
+	return Options{Instructions: 2000, Warmup: 10_000, Seed: 1, Benchmarks: []string{"swim", "gcc"}}
+}
+
+// TestShardedSweepMatchesSingleProcess is the sharding contract: running
+// a grid as two shards and merging must reproduce the single-process
+// result set bit for bit — including the serialized JSON, so shards can
+// be compared with cmp(1) in CI.
+func TestShardedSweepMatchesSingleProcess(t *testing.T) {
+	o := shardTestOptions()
+	full, err := RunShard(o, "table2", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := RunShard(o, "table2", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := RunShard(o, "table2", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s0.Results)+len(s1.Results) != len(full.Results) {
+		t.Fatalf("shards hold %d+%d results, full run %d", len(s0.Results), len(s1.Results), len(full.Results))
+	}
+	// Merge order must not matter.
+	merged, err := MergeShards([]*ShardFile{s1, s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, full) {
+		t.Fatal("merged shard set differs from single-process run")
+	}
+	mj, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mj, fj) {
+		t.Fatal("merged JSON is not byte-identical to the single-process JSON")
+	}
+
+	// The assembled table must also match one computed the ordinary way.
+	direct, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromShards, err := Table2From(merged.Options(), merged.SimResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromShards, direct) {
+		t.Fatal("Table2 assembled from shards differs from direct Table2")
+	}
+}
+
+// TestShardPartitionCoversEveryExperiment: for every named grid, the
+// shard partition is a disjoint cover, independent of shard count.
+func TestShardPartitionCoversEveryExperiment(t *testing.T) {
+	o := Options{Instructions: 1, Warmup: 1, Seed: 1, Benchmarks: []string{"swim"}}
+	for _, exp := range Experiments {
+		jobs, err := experimentJobs(exp, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 3, 7} {
+			seen := make(map[string]int)
+			for shard := 0; shard < n; shard++ {
+				for i := shard; i < len(jobs); i += n {
+					seen[jobs[i].key]++
+				}
+			}
+			if len(seen) != len(jobs) {
+				t.Fatalf("%s/%d shards: %d keys covered, grid has %d", exp, n, len(seen), len(jobs))
+			}
+			for key, c := range seen {
+				if c != 1 {
+					t.Fatalf("%s/%d shards: key %s assigned %d times", exp, n, key, c)
+				}
+			}
+		}
+	}
+	if _, err := experimentJobs("nope", o); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestMergeShardsRejectsBadSets: incomplete, duplicated or mismatched
+// shard sets must fail loudly rather than merge into a wrong result.
+func TestMergeShardsRejectsBadSets(t *testing.T) {
+	o := shardTestOptions()
+	s0, err := RunShard(o, "table2", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := RunShard(o, "table2", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := MergeShards(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := MergeShards([]*ShardFile{s0}); err == nil {
+		t.Error("incomplete shard set accepted")
+	}
+	if _, err := MergeShards([]*ShardFile{s0, s0}); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	oo := o
+	oo.Instructions++
+	x1, err := RunShard(oo, "table2", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards([]*ShardFile{s0, x1}); err == nil {
+		t.Error("mixed-scale shard set accepted")
+	}
+	bad := *s0
+	bad.Schema = ShardSchema + 1
+	if _, err := MergeShards([]*ShardFile{&bad, s1}); err == nil {
+		t.Error("wrong-schema shard accepted")
+	}
+}
+
+// TestCheckpointDirSkipsWarmup: with a checkpoint directory, the first
+// batch pays every warmup and saves it; a second batch over the same
+// options loads every checkpoint (all hits) and produces identical
+// results.
+func TestCheckpointDirSkipsWarmup(t *testing.T) {
+	o := shardTestOptions()
+	plain, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.CheckpointDir = t.TempDir()
+	o.CkptStats = &CkptStats{}
+	cold, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := o.CkptStats.Hits.Load(), o.CkptStats.Misses.Load(); h != 0 || m != 2 {
+		t.Fatalf("cold batch: hits=%d misses=%d, want 0/2 (one per workload)", h, m)
+	}
+
+	o.CkptStats = &CkptStats{}
+	warm, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := o.CkptStats.Hits.Load(), o.CkptStats.Misses.Load(); h != 2 || m != 0 {
+		t.Fatalf("warm batch: hits=%d misses=%d, want 2/0", h, m)
+	}
+
+	if !reflect.DeepEqual(cold, plain) {
+		t.Fatal("store-backed cold batch differs from in-memory batch")
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("store-hit batch differs from the batch that built the store")
+	}
+}

@@ -134,7 +134,14 @@ type Cache struct {
 	lines     []cacheLine
 	stamp     uint64
 
-	mshrs map[uint64]*mshr
+	// mshrTab is the MSHR file itself: a flat slot array sized to
+	// cfg.MSHRs, matching the small fully-associative structure in real
+	// hardware. Lookups scan every slot — at the 8–32 MSHRs of Table 1
+	// that is a handful of contiguous compares, cheaper than hashing into
+	// a Go map — and the simulator's memory-bound profile is dominated by
+	// these lookups (see BenchmarkMSHRLookup).
+	mshrTab   []*mshr
+	mshrCount int
 	// mshrPool recycles mshr structures (and their targets/upDones
 	// capacity) so steady-state misses allocate nothing.
 	mshrPool []*mshr
@@ -147,8 +154,12 @@ type Cache struct {
 	// events.
 	hitPool []*mshrTarget
 	// pendingFetches queues upper-level line fetches that arrived while
-	// all MSHRs were busy; they start as MSHRs free.
+	// all MSHRs were busy; they start as MSHRs free. pfHead indexes the
+	// queue's front so a pop never re-slices the backing array (which
+	// would strand the consumed prefix for the cache's lifetime); the
+	// slice is reset whenever the queue drains.
 	pendingFetches []pendingFetch
+	pfHead         int
 
 	linkFree int64 // next cycle the up-link is available
 
@@ -172,12 +183,12 @@ func NewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) (*Cache, error) {
 	}
 	nLines := cfg.Size / cfg.LineSize
 	c := &Cache{
-		cfg:   cfg,
-		eq:    eq,
-		lower: lower,
-		sets:  nLines / cfg.Ways,
-		lines: make([]cacheLine, nLines),
-		mshrs: make(map[uint64]*mshr),
+		cfg:     cfg,
+		eq:      eq,
+		lower:   lower,
+		sets:    nLines / cfg.Ways,
+		lines:   make([]cacheLine, nLines),
+		mshrTab: make([]*mshr, cfg.MSHRs),
 	}
 	for c.lineShift = 0; 1<<c.lineShift != cfg.LineSize; c.lineShift++ {
 	}
@@ -187,8 +198,21 @@ func NewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) (*Cache, error) {
 	return c, nil
 }
 
+// lookupMSHR returns the busy MSHR registered for lineAddr, or nil. The
+// scan covers the whole slot array; entries are sparse and the array is a
+// cache line or two.
+func (c *Cache) lookupMSHR(lineAddr uint64) *mshr {
+	for _, m := range c.mshrTab {
+		if m != nil && m.lineAddr == lineAddr {
+			return m
+		}
+	}
+	return nil
+}
+
 // allocMSHR takes an mshr from the freelist (or allocates the structure's
-// only heap objects, once) and registers it for lineAddr.
+// only heap objects, once) and registers it for lineAddr in the first
+// free slot. Callers have already checked that a slot is free.
 func (c *Cache) allocMSHR(lineAddr uint64) *mshr {
 	var m *mshr
 	if n := len(c.mshrPool); n > 0 {
@@ -200,11 +224,30 @@ func (c *Cache) allocMSHR(lineAddr uint64) *mshr {
 		m = &mshr{lineAddr: lineAddr}
 		m.fillDone = func(fillTime int64) { c.fill(fillTime, m.lineAddr) }
 	}
-	c.mshrs[lineAddr] = m
-	if len(c.mshrs) > c.mshrPeak {
-		c.mshrPeak = len(c.mshrs)
+	for i, s := range c.mshrTab {
+		if s == nil {
+			c.mshrTab[i] = m
+			break
+		}
+	}
+	c.mshrCount++
+	if c.mshrCount > c.mshrPeak {
+		c.mshrPeak = c.mshrCount
 	}
 	return m
+}
+
+// releaseMSHR unregisters the MSHR for lineAddr and returns it, or nil if
+// none is busy for that line.
+func (c *Cache) releaseMSHR(lineAddr uint64) *mshr {
+	for i, m := range c.mshrTab {
+		if m != nil && m.lineAddr == lineAddr {
+			c.mshrTab[i] = nil
+			c.mshrCount--
+			return m
+		}
+	}
+	return nil
 }
 
 // startFetch is the tag-lookup-latency event for a miss: the fetch leaves
@@ -306,7 +349,7 @@ func (c *Cache) Probe(addr uint64) Kind {
 	if ln := c.lookup(lineAddr); ln != nil {
 		return KindHit
 	}
-	if _, ok := c.mshrs[lineAddr]; ok {
+	if c.lookupMSHR(lineAddr) != nil {
 		return KindDelayedHit
 	}
 	return KindMiss
@@ -337,13 +380,13 @@ func (c *Cache) AccessArg(now int64, addr uint64, write bool, done func(now int6
 		c.scheduleHit(now+int64(c.cfg.HitLatency), done, arg)
 		return true
 	}
-	if m, ok := c.mshrs[lineAddr]; ok {
+	if m := c.lookupMSHR(lineAddr); m != nil {
 		c.stats.Accesses++
 		c.stats.DelayedHits++
 		m.targets = append(m.targets, mshrTarget{write: write, kind: KindDelayedHit, done: done, arg: arg})
 		return true
 	}
-	if len(c.mshrs) >= c.cfg.MSHRs {
+	if c.mshrCount >= c.cfg.MSHRs {
 		c.stats.MSHRRejects++
 		return false
 	}
@@ -369,13 +412,13 @@ func (c *Cache) FetchLine(now int64, lineAddr uint64, done func(now int64)) {
 		c.eq.Schedule(deliver, done)
 		return
 	}
-	if m, ok := c.mshrs[lineAddr]; ok {
+	if m := c.lookupMSHR(lineAddr); m != nil {
 		c.stats.Accesses++
 		c.stats.DelayedHits++
 		m.upDones = append(m.upDones, done)
 		return
 	}
-	if len(c.mshrs) >= c.cfg.MSHRs {
+	if c.mshrCount >= c.cfg.MSHRs {
 		// Upper levels have no retry path; queue until an MSHR frees.
 		c.stats.MSHRRejects++
 		c.pendingFetches = append(c.pendingFetches, pendingFetch{lineAddr: lineAddr, done: done})
@@ -402,11 +445,10 @@ func (c *Cache) WritebackLine(now int64, lineAddr uint64) {
 
 // fill installs a fetched line and completes all merged targets.
 func (c *Cache) fill(now int64, lineAddr uint64) {
-	m := c.mshrs[lineAddr]
+	m := c.releaseMSHR(lineAddr)
 	if m == nil {
 		panic(fmt.Sprintf("mem: %s: fill without MSHR for %#x", c.cfg.Name, lineAddr))
 	}
-	delete(c.mshrs, lineAddr)
 
 	set, tag := c.setOf(lineAddr)
 	victim := 0
@@ -443,9 +485,14 @@ func (c *Cache) fill(now int64, lineAddr uint64) {
 	}
 
 	// Start one queued upper-level fetch now that an MSHR is free.
-	if len(c.pendingFetches) > 0 {
-		pf := c.pendingFetches[0]
-		c.pendingFetches = c.pendingFetches[1:]
+	if c.pfHead < len(c.pendingFetches) {
+		pf := c.pendingFetches[c.pfHead]
+		c.pendingFetches[c.pfHead] = pendingFetch{}
+		c.pfHead++
+		if c.pfHead == len(c.pendingFetches) {
+			c.pendingFetches = c.pendingFetches[:0]
+			c.pfHead = 0
+		}
 		c.FetchLine(now, pf.lineAddr, pf.done)
 	}
 }
@@ -495,4 +542,7 @@ func (c *Cache) reserveLink(ready int64) int64 {
 }
 
 // OutstandingMisses returns the number of busy MSHRs.
-func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
+func (c *Cache) OutstandingMisses() int { return c.mshrCount }
+
+// pendingFetchLen returns the number of queued upper-level fetches.
+func (c *Cache) pendingFetchLen() int { return len(c.pendingFetches) - c.pfHead }

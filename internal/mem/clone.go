@@ -15,9 +15,9 @@ import "fmt"
 // lower. The cache must be idle: no busy MSHRs and no queued upper-level
 // fetches.
 func (c *Cache) Clone(eq *EventQueue, lower Supplier) (*Cache, error) {
-	if len(c.mshrs) > 0 || len(c.pendingFetches) > 0 {
+	if c.mshrCount > 0 || c.pendingFetchLen() > 0 {
 		return nil, fmt.Errorf("mem: %s: clone with %d busy MSHRs, %d pending fetches",
-			c.cfg.Name, len(c.mshrs), len(c.pendingFetches))
+			c.cfg.Name, c.mshrCount, c.pendingFetchLen())
 	}
 	n, err := NewCache(c.cfg, eq, lower)
 	if err != nil {

@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// Checkpoint serialization of the memory system. The encoded state is
+// exactly what Clone copies: tag/LRU arrays, dirty bits, link
+// reservations and statistics. Transient state cannot cross a file any
+// more than it can cross a clone — busy MSHRs and queued fetches hold
+// closures bound to the live caches — so EncodeTo requires quiescence and
+// writes the (zero) MSHR occupancy so the decoder can verify it.
+
+// EncodeTo writes the cache's architectural state. The cache must be
+// idle: no busy MSHRs and no queued upper-level fetches.
+func (c *Cache) EncodeTo(w *codec.Writer) error {
+	if c.mshrCount > 0 || c.pendingFetchLen() > 0 {
+		return fmt.Errorf("mem: %s: encode with %d busy MSHRs, %d pending fetches",
+			c.cfg.Name, c.mshrCount, c.pendingFetchLen())
+	}
+	w.String(c.cfg.Name)
+	w.Int(len(c.lines))
+	for i := range c.lines {
+		ln := &c.lines[i]
+		w.Bool(ln.valid)
+		w.Bool(ln.dirty)
+		w.U64(ln.tag)
+		w.U64(ln.lru)
+	}
+	w.U64(c.stamp)
+	w.Int(c.mshrCount) // always zero; the decoder cross-checks
+	w.Int(c.pendingFetchLen())
+	w.I64(c.linkFree)
+	w.U64(c.stats.Accesses)
+	w.U64(c.stats.Hits)
+	w.U64(c.stats.DelayedHits)
+	w.U64(c.stats.Misses)
+	w.U64(c.stats.Writebacks)
+	w.U64(c.stats.MSHRRejects)
+	w.Int(c.mshrPeak)
+	return w.Err()
+}
+
+// decodeInto restores state written by EncodeTo into a freshly built
+// cache of the same configuration.
+func (c *Cache) decodeInto(r *codec.Reader) error {
+	if name := r.String(256); name != c.cfg.Name && r.Err() == nil {
+		return fmt.Errorf("mem: decoding %q state into %q cache", name, c.cfg.Name)
+	}
+	if n := r.Int(); n != len(c.lines) && r.Err() == nil {
+		return fmt.Errorf("mem: %s: decoded line count %d, cache has %d", c.cfg.Name, n, len(c.lines))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		ln.valid = r.Bool()
+		ln.dirty = r.Bool()
+		ln.tag = r.U64()
+		ln.lru = r.U64()
+	}
+	c.stamp = r.U64()
+	if busy, pending := r.Int(), r.Int(); (busy != 0 || pending != 0) && r.Err() == nil {
+		return fmt.Errorf("mem: %s: file carries %d busy MSHRs, %d pending fetches; checkpoints are quiescent",
+			c.cfg.Name, busy, pending)
+	}
+	c.linkFree = r.I64()
+	c.stats.Accesses = r.U64()
+	c.stats.Hits = r.U64()
+	c.stats.DelayedHits = r.U64()
+	c.stats.Misses = r.U64()
+	c.stats.Writebacks = r.U64()
+	c.stats.MSHRRejects = r.U64()
+	c.mshrPeak = r.Int()
+	return r.Err()
+}
+
+// EncodeTo writes the memory channel's state.
+func (m *MainMemory) EncodeTo(w *codec.Writer) {
+	w.I64(m.linkFree)
+	w.U64(m.fetches)
+	w.U64(m.writebacks)
+}
+
+func (m *MainMemory) decodeInto(r *codec.Reader) {
+	m.linkFree = r.I64()
+	m.fetches = r.U64()
+	m.writebacks = r.U64()
+}
+
+// EncodeTo writes the whole hierarchy's architectural state. The
+// hierarchy must be quiescent (no pending events), exactly as for Clone.
+func (h *Hierarchy) EncodeTo(w *codec.Writer) error {
+	if h.EQ.Len() > 0 {
+		return fmt.Errorf("mem: encode with %d pending events", h.EQ.Len())
+	}
+	h.Mem.EncodeTo(w)
+	for _, c := range []*Cache{h.L2, h.L1I, h.L1D} {
+		if err := c.EncodeTo(w); err != nil {
+			return err
+		}
+	}
+	return w.Err()
+}
+
+// DecodeHierarchy rebuilds a hierarchy of the given configuration and
+// restores the state written by EncodeTo. The configuration must match
+// the one the encoder ran under (the caller validates geometry via the
+// checkpoint fingerprint; this decoder re-checks structure sizes).
+func DecodeHierarchy(r *codec.Reader, cfg HierarchyConfig) (*Hierarchy, error) {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.Mem.decodeInto(r)
+	for _, c := range []*Cache{h.L2, h.L1I, h.L1D} {
+		if err := c.decodeInto(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

@@ -210,6 +210,45 @@ func sweepForked() (insts, cycles int64, err error) {
 	return insts, cycles, nil
 }
 
+// sweepStore sweeps the grid through a directory-backed checkpoint store:
+// LoadOrNew either warms and saves (fresh dir) or loads the saved warmup
+// (populated dir), then forks per point exactly like sweepForked.
+func sweepStore(dir string) (insts, cycles int64, hit bool, err error) {
+	st := &sim.CheckpointStore{Dir: dir}
+	ck, hit, err := st.LoadOrNew(sim.DefaultConfig(sim.QueueIdeal, 512), sweepWorkload, 1, sweepWarm)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	for _, cfg := range sweepGrid() {
+		p, err := ck.Fork(cfg)
+		if err != nil {
+			return 0, 0, hit, err
+		}
+		r, err := p.Run(sweepN)
+		if err != nil {
+			return 0, 0, hit, err
+		}
+		insts += r.Instructions
+		cycles += r.Cycles
+	}
+	return insts, cycles, hit, nil
+}
+
+// sweepCkptCold is the first process against a fresh store: pays the
+// warmup, serialises it, and sweeps. Fresh directory every iteration.
+func sweepCkptCold() (int64, int64, error) {
+	dir, err := os.MkdirTemp("", "iqperf-ckpt-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	insts, cycles, hit, err := sweepStore(dir)
+	if err == nil && hit {
+		err = fmt.Errorf("perf: fresh checkpoint store reported a hit")
+	}
+	return insts, cycles, err
+}
+
 // measureSweep benchmarks one sweep variant.
 func measureSweep(name string, sweep func() (int64, int64, error)) Metrics {
 	var insts, cycles int64
@@ -282,6 +321,29 @@ func Measure() Baseline {
 	b.Workloads = append(b.Workloads,
 		measureSweep("sweep6_swim_cold", sweepCold),
 		measureSweep("sweep6_swim_forked", sweepForked))
+
+	// The checkpoint-store pair measures the cross-process win: the same
+	// grid swept against a fresh store (warm + serialise + sweep) and a
+	// populated one (load + sweep — the repeat-sweep case -ckpt-dir
+	// enables). The populated dir is seeded untimed; simulated totals must
+	// match the cold sweep's exactly.
+	warmDir, werr := os.MkdirTemp("", "iqperf-ckpt-")
+	if werr == nil {
+		defer os.RemoveAll(warmDir)
+		_, _, _, werr = sweepStore(warmDir)
+	}
+	b.Workloads = append(b.Workloads,
+		measureSweep("sweep6_swim_ckpt_cold", sweepCkptCold),
+		measureSweep("sweep6_swim_ckpt_warm", func() (int64, int64, error) {
+			if werr != nil {
+				return 0, 0, werr
+			}
+			insts, cycles, hit, err := sweepStore(warmDir)
+			if err == nil && !hit {
+				err = fmt.Errorf("perf: populated checkpoint store missed")
+			}
+			return insts, cycles, err
+		}))
 	return b
 }
 

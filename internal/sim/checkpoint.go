@@ -20,6 +20,11 @@ import (
 // and the forked machines may themselves run concurrently.
 type Checkpoint struct {
 	template *Engine
+
+	// seed and warm record how the template was produced; Save writes them
+	// so LoadCheckpoint can rebuild the generator and report provenance.
+	seed uint64
+	warm int64
 }
 
 // NewCheckpoint builds the named workload, fast-forwards it by warm
@@ -46,11 +51,17 @@ func NewCheckpoint(cfg Config, workload string, seed uint64, warm int64) (*Check
 		// the frontier.
 		src.TrimBefore(cur.Pos())
 	}
-	return &Checkpoint{template: e}, nil
+	return &Checkpoint{template: e, seed: seed, warm: warm}, nil
 }
 
 // Workload returns the checkpointed workload's name.
 func (ck *Checkpoint) Workload() string { return ck.template.ctxs[0].workload }
+
+// Seed returns the trace seed the checkpoint was warmed with.
+func (ck *Checkpoint) Seed() uint64 { return ck.seed }
+
+// Warm returns the warmup length the checkpoint was built with.
+func (ck *Checkpoint) Warm() int64 { return ck.warm }
 
 // Release declares the checkpoint done forking: its template cursor —
 // pinned at the warm frontier, which forces the fork source to keep the

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointStore backs the warm-checkpoint cache with a directory, so
+// warmup is paid once ever per (workload, seed, warmup length, geometry)
+// rather than once per process. Files are named by the full key —
+//
+//	ck_<workload>_s<seed>_w<warm>_g<fingerprint>.ckpt
+//
+// so stores can be shared between sweeps with different machine
+// geometries, and a geometry change simply misses instead of colliding.
+// Writes go through a temp file and rename, so a crashed or concurrent
+// writer never leaves a torn file under the final name; concurrent
+// writers of the same key race benignly (last rename wins, both files
+// are identical).
+type CheckpointStore struct {
+	// Dir is the backing directory; it is created on first save.
+	Dir string
+}
+
+// Path returns the backing file for one checkpoint key.
+func (st *CheckpointStore) Path(cfg *Config, workload string, seed uint64, warm int64) string {
+	name := fmt.Sprintf("ck_%s_s%d_w%d_g%016x.ckpt", workload, seed, warm, cfg.GeometryFingerprint())
+	return filepath.Join(st.Dir, name)
+}
+
+// LoadOrNew returns a warmed checkpoint for the key, loading it from the
+// store when a matching file exists and building (then saving) it
+// otherwise. hit reports whether the warmup was skipped. A stale or
+// unreadable file is treated as a miss and rebuilt over.
+func (st *CheckpointStore) LoadOrNew(cfg Config, workload string, seed uint64, warm int64) (ck *Checkpoint, hit bool, err error) {
+	path := st.Path(&cfg, workload, seed, warm)
+	if ck, err := st.load(path, workload, seed, warm); err == nil {
+		return ck, true, nil
+	} else if !os.IsNotExist(err) {
+		// A present-but-unloadable file is worth mentioning: it means the
+		// store was written by an incompatible build or got corrupted, and
+		// every run will silently re-warm until it is replaced.
+		fmt.Fprintf(os.Stderr, "ckpt-store: rebuilding %s: %v\n", filepath.Base(path), err)
+	}
+	ck, err = NewCheckpoint(cfg, workload, seed, warm)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := st.save(ck, path); err != nil {
+		return nil, false, fmt.Errorf("sim: saving checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return ck, false, nil
+}
+
+func (st *CheckpointStore) load(path, workload string, seed uint64, warm int64) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck, err := LoadCheckpoint(f)
+	if err != nil {
+		return nil, err
+	}
+	// The key is encoded in the file name, but file contents win: a file
+	// copied or renamed across keys must not impersonate another warmup.
+	if ck.Workload() != workload || ck.Seed() != seed || ck.Warm() != warm {
+		return nil, fmt.Errorf("file holds (%s, seed %d, warm %d), wanted (%s, seed %d, warm %d)",
+			ck.Workload(), ck.Seed(), ck.Warm(), workload, seed, warm)
+	}
+	return ck, nil
+}
+
+func (st *CheckpointStore) save(ck *Checkpoint, path string) error {
+	if err := os.MkdirAll(st.Dir, 0o777); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.Dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ck.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

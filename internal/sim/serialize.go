@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/bpred"
+	"repro/internal/codec"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Checkpoint file format (little-endian throughout, via internal/codec):
+//
+//	magic     8 bytes  "IQCKPT1\n"
+//	version   u32      CheckpointVersion
+//	geometry  u64      GeometryFingerprint of the template configuration
+//	config    bytes    length-prefixed JSON of the full sim.Config
+//	workload  string
+//	seed      u64
+//	warm      i64      requested warmup length
+//	pos       i64      warm frontier: instructions actually consumed
+//	predictor           bpred.Predictor section (self-describing)
+//	btb                 bpred.BTB section (self-describing)
+//	hierarchy           mem.Hierarchy section (per-cache, name-checked)
+//	memo      i64 + n×inst  ForkSource suffix beyond the frontier
+//	trailer   u32      ckptTrailer, then EOF
+//
+// A checkpoint template is an unstepped machine: warmed caches, trained
+// branch structures, stream at the frontier, simulated time still zero.
+// Save enforces that shape, so the file never carries in-flight pipeline
+// state and Load rebuilds the pipeline empty, exactly as NewCheckpoint
+// leaves it. The geometry fingerprint is duplicated from the config so a
+// store can match files without parsing JSON, and Load cross-checks the
+// two against each other.
+
+// CheckpointVersion is the current checkpoint file format version.
+const CheckpointVersion = 1
+
+const ckptTrailer uint32 = 0x54504b43 // "CKPT"
+
+var ckptMagic = [8]byte{'I', 'Q', 'C', 'K', 'P', 'T', '1', '\n'}
+
+// maxMemoSuffix bounds the carried memo suffix on decode. A template's
+// suffix only grows while forked runs outpace it mid-sweep; at save time
+// it is almost always empty, so anything enormous is corruption.
+const maxMemoSuffix = 1 << 24
+
+// GeometryFingerprint hashes the parts of the configuration a checkpoint's
+// warmed state depends on: the memory hierarchy and the branch-structure
+// geometry. Two configurations with equal fingerprints can fork from the
+// same checkpoint; Fork enforces the same equality field-by-field.
+func (cfg *Config) GeometryFingerprint() uint64 {
+	b, err := json.Marshal(struct {
+		Memory          any
+		BranchPredictor any
+		BTBEntries      int
+		BTBWays         int
+	}{cfg.Memory, cfg.BranchPredictor, cfg.BTBEntries, cfg.BTBWays})
+	if err != nil {
+		// All geometry fields are plain data; Marshal cannot fail on them.
+		panic(fmt.Sprintf("sim: geometry fingerprint: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Save writes the checkpoint to w in the versioned binary format above.
+// The template must be in canonical checkpoint shape: a single-context
+// machine that has been warmed but never stepped.
+func (ck *Checkpoint) Save(w io.Writer) error {
+	t := ck.template
+	if len(t.ctxs) != 1 {
+		return fmt.Errorf("sim: save supports single-context checkpoints, machine has %d", len(t.ctxs))
+	}
+	if t.cycle != 0 || t.seq != 0 || t.inExec != 0 {
+		return fmt.Errorf("sim: save requires an unstepped template (cycle %d, seq %d, inExec %d)",
+			t.cycle, t.seq, t.inExec)
+	}
+	tth := t.ctxs[0]
+	cur, ok := tth.stream.(*trace.ForkCursor)
+	if !ok {
+		return fmt.Errorf("sim: save requires a fork-cursor stream, have %T", tth.stream)
+	}
+	cfgJSON, err := json.Marshal(t.cfg)
+	if err != nil {
+		return fmt.Errorf("sim: encoding config: %w", err)
+	}
+
+	bw := bufio.NewWriter(w)
+	cw := codec.NewWriter(bw)
+	cw.Raw(ckptMagic[:])
+	cw.U32(CheckpointVersion)
+	cw.U64(t.cfg.GeometryFingerprint())
+	cw.Bytes(cfgJSON)
+	cw.String(tth.workload)
+	cw.U64(ck.seed)
+	cw.I64(ck.warm)
+	pos := cur.Pos()
+	cw.I64(pos)
+	tth.bp.EncodeTo(cw)
+	tth.btb.EncodeTo(cw)
+	if err := t.hier.EncodeTo(cw); err != nil {
+		return err
+	}
+	memo := cur.Source().MemoSuffix(pos)
+	cw.I64(int64(len(memo)))
+	for i := range memo {
+		trace.EncodeInst(cw, &memo[i])
+	}
+	cw.U32(ckptTrailer)
+	if err := cw.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a checkpoint written by Save and rebuilds the
+// warmed template: trained branch structures and cache contents come from
+// the file, the instruction stream is regenerated from (workload, seed)
+// and fast-forwarded to the recorded frontier, and the pipeline starts
+// empty at cycle zero. The result forks exactly like the checkpoint that
+// was saved.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	cr := codec.NewReader(br)
+
+	magic := cr.Raw(len(ckptMagic))
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("sim: reading checkpoint header: %w", err)
+	}
+	if string(magic) != string(ckptMagic[:]) {
+		return nil, fmt.Errorf("sim: not a checkpoint file (bad magic %q)", magic)
+	}
+	if v := cr.U32(); v != CheckpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint format version %d, this build reads %d", v, CheckpointVersion)
+	}
+	fp := cr.U64()
+	cfgJSON := cr.Bytes(1 << 20)
+	if err := cr.Err(); err != nil {
+		return nil, fmt.Errorf("sim: reading checkpoint header: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+		return nil, fmt.Errorf("sim: decoding checkpoint config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint config invalid: %w", err)
+	}
+	if got := cfg.GeometryFingerprint(); got != fp {
+		return nil, fmt.Errorf("sim: checkpoint geometry fingerprint %016x does not match its config (%016x)", fp, got)
+	}
+
+	workload := cr.String(256)
+	seed := cr.U64()
+	warm := cr.I64()
+	pos := cr.I64()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	if pos < 0 || warm < 0 || pos > warm {
+		return nil, fmt.Errorf("sim: checkpoint frontier %d inconsistent with warmup %d", pos, warm)
+	}
+
+	bp, err := bpred.DecodePredictor(cr)
+	if err != nil {
+		return nil, err
+	}
+	if bp.Config() != cfg.BranchPredictor {
+		return nil, fmt.Errorf("sim: checkpoint predictor geometry does not match its config")
+	}
+	btb, err := bpred.DecodeBTB(cr)
+	if err != nil {
+		return nil, err
+	}
+	if entries, ways := btb.Geometry(); entries != cfg.BTBEntries || ways != cfg.BTBWays {
+		return nil, fmt.Errorf("sim: checkpoint BTB geometry %d/%d does not match its config %d/%d",
+			entries, ways, cfg.BTBEntries, cfg.BTBWays)
+	}
+	hier, err := mem.DecodeHierarchy(cr, cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+
+	nMemo := cr.I64()
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	if nMemo < 0 || nMemo > maxMemoSuffix {
+		return nil, fmt.Errorf("sim: checkpoint memo suffix length %d implausible", nMemo)
+	}
+	memo := make([]isa.Inst, nMemo)
+	for i := range memo {
+		if memo[i], err = trace.DecodeInst(cr); err != nil {
+			return nil, err
+		}
+	}
+	if tr := cr.U32(); cr.Err() == nil && tr != ckptTrailer {
+		return nil, fmt.Errorf("sim: checkpoint trailer %08x corrupt", tr)
+	}
+	if err := cr.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("sim: trailing bytes after checkpoint")
+	}
+
+	base, err := trace.New(workload, seed)
+	if err != nil {
+		return nil, err
+	}
+	src, err := trace.ResumeForkSource(base, pos, memo)
+	if err != nil {
+		return nil, err
+	}
+	cur := src.Fork()
+	src.TrimBefore(0)
+
+	q, err := cfg.buildQueue()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		q:    q,
+		hier: hier,
+		fus:  pipeline.NewFUPool(cfg.FUPerClass),
+	}
+	th, err := e.newContext(0, cur, cfg.ROBSize, cfg.LSQSize, bp, btb)
+	if err != nil {
+		return nil, err
+	}
+	th.workload = workload
+	e.ctxs = append(e.ctxs, th)
+	e.bindCallbacks()
+	return &Checkpoint{template: e, seed: seed, warm: warm}, nil
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSaveLoadForkMatchesInMemoryFork: the serialization round trip must
+// be invisible — a machine forked from a loaded checkpoint runs
+// bit-identically to one forked from the in-memory checkpoint it was
+// saved from, for every queue design.
+func TestSaveLoadForkMatchesInMemoryFork(t *testing.T) {
+	const workload, seed, n, warm = "swim", 1, 8000, 50_000
+	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 256), workload, seed, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ck.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Workload() != workload || loaded.Seed() != seed || loaded.Warm() != warm {
+		t.Fatalf("loaded key (%s, %d, %d), saved (%s, %d, %d)",
+			loaded.Workload(), loaded.Seed(), loaded.Warm(), workload, uint64(seed), int64(warm))
+	}
+	for name, cfg := range forkTestConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			pm, err := ck.Fork(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem, err := pm.Run(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := loaded.Fork(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			disk, err := pl.Run(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(disk, mem) {
+				t.Fatalf("loaded fork differs from in-memory fork\nloaded: %+v\nmemory: %+v", disk.Stats, mem.Stats)
+			}
+		})
+	}
+}
+
+// saveTestCheckpoint builds and serializes a small checkpoint once for the
+// corruption tests.
+func saveTestCheckpoint(t *testing.T) []byte {
+	t.Helper()
+	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 128), "gcc", 7, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ck.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadCheckpointRejectsDamage: every class of damaged file must fail
+// with an error, never a panic or a silently wrong machine.
+func TestLoadCheckpointRejectsDamage(t *testing.T) {
+	good := saveTestCheckpoint(t)
+	if _, err := LoadCheckpoint(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine file failed to load: %v", err)
+	}
+
+	damage := map[string]func([]byte) []byte{
+		"empty": func(b []byte) []byte { return nil },
+		"bad magic": func(b []byte) []byte {
+			b[0] ^= 0xff
+			return b
+		},
+		"wrong version": func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], CheckpointVersion+1)
+			return b
+		},
+		"geometry fingerprint mismatch": func(b []byte) []byte {
+			b[12] ^= 0xff // header fingerprint no longer matches the config
+			return b
+		},
+		"truncated header": func(b []byte) []byte { return b[:10] },
+		"truncated body":   func(b []byte) []byte { return b[:len(b)/2] },
+		"missing trailer":  func(b []byte) []byte { return b[:len(b)-2] },
+		"corrupt trailer": func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		},
+		"trailing garbage": func(b []byte) []byte { return append(b, 0xaa) },
+	}
+	for name, f := range damage {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			b := f(append([]byte(nil), good...))
+			if _, err := LoadCheckpoint(bytes.NewReader(b)); err == nil {
+				t.Fatal("damaged checkpoint loaded without error")
+			} else {
+				t.Logf("rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestLoadCheckpointRejectsCfgTamper: editing a geometry field inside the
+// embedded config JSON must be caught by the fingerprint check even
+// though the file still parses field by field.
+func TestLoadCheckpointRejectsCfgTamper(t *testing.T) {
+	good := saveTestCheckpoint(t)
+	b := append([]byte(nil), good...)
+	i := bytes.Index(b, []byte(`"BTBEntries":4096`))
+	if i < 0 {
+		t.Fatal("config JSON not found in file")
+	}
+	b[i+len(`"BTBEntries":`)] = '8' // 4096 -> 8096
+	if _, err := LoadCheckpoint(bytes.NewReader(b)); err == nil {
+		t.Fatal("tampered config loaded without error")
+	} else {
+		t.Logf("rejected: %v", err)
+	}
+}
+
+// TestCheckpointStoreHit: the second LoadOrNew for the same key must be a
+// hit, and forks from the loaded checkpoint must match forks from the one
+// that was built and saved.
+func TestCheckpointStoreHit(t *testing.T) {
+	const workload, seed, n, warm = "swim", 2, 6000, 30_000
+	cfg := SegmentedConfig(256, 64, true, true)
+	st := &CheckpointStore{Dir: t.TempDir()}
+
+	ck1, hit, err := st.LoadOrNew(cfg, workload, seed, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first LoadOrNew reported a hit in an empty store")
+	}
+	ck2, hit, err := st.LoadOrNew(cfg, workload, seed, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second LoadOrNew missed")
+	}
+
+	p1, err := ck1.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p1.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ck2.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p2.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("store-hit fork differs from built fork\nhit:   %+v\nbuilt: %+v", r2.Stats, r1.Stats)
+	}
+}
+
+// TestCheckpointStoreMissOnGeometryChange: a geometry change must miss
+// (separate file), and a corrupt file under the right name must be
+// rebuilt, not trusted.
+func TestCheckpointStoreMissOnGeometryChange(t *testing.T) {
+	const workload, seed, warm = "swim", 2, 20_000
+	st := &CheckpointStore{Dir: t.TempDir()}
+	cfg := DefaultConfig(QueueIdeal, 128)
+	if _, _, err := st.LoadOrNew(cfg, workload, seed, warm); err != nil {
+		t.Fatal(err)
+	}
+	big := cfg
+	big.BTBEntries *= 2
+	if _, hit, err := st.LoadOrNew(big, workload, seed, warm); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("geometry change hit the old checkpoint")
+	}
+	if cfg.GeometryFingerprint() == big.GeometryFingerprint() {
+		t.Fatal("geometry change did not move the fingerprint")
+	}
+
+	path := st.Path(&cfg, workload, seed, warm)
+	if err := os.WriteFile(path, []byte("garbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := st.LoadOrNew(cfg, workload, seed, warm); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("corrupt file counted as a hit")
+	}
+	// The rebuild must have replaced the garbage with a loadable file.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := LoadCheckpoint(f); err != nil {
+		t.Fatalf("rebuilt store file unloadable: %v", err)
+	}
+}
+
+// TestCheckpointStoreRejectsImpersonation: a valid checkpoint file moved
+// to another key's name must be treated as a miss (contents win over the
+// file name).
+func TestCheckpointStoreRejectsImpersonation(t *testing.T) {
+	const workload, seed, warm = "gcc", 5, 20_000
+	st := &CheckpointStore{Dir: t.TempDir()}
+	cfg := DefaultConfig(QueueIdeal, 128)
+	if _, _, err := st.LoadOrNew(cfg, workload, seed, warm); err != nil {
+		t.Fatal(err)
+	}
+	src := st.Path(&cfg, workload, seed, warm)
+	dst := st.Path(&cfg, workload, seed+1, warm)
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, b, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := st.LoadOrNew(cfg, workload, seed+1, warm); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatalf("file copied from %s impersonated %s", filepath.Base(src), filepath.Base(dst))
+	}
+}

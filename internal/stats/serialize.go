@@ -1,0 +1,60 @@
+package stats
+
+import "repro/internal/codec"
+
+// The statistics primitives are part of the machine state a checkpoint
+// carries, so they encode and decode themselves over the shared binary
+// codec. A checkpoint template's counters are typically zero (warmup
+// gathers no run statistics), but the format does not rely on that.
+
+// EncodeTo writes the counter's state.
+func (c *Counter) EncodeTo(w *codec.Writer) { w.U64(c.n) }
+
+// DecodeFrom restores the counter's state.
+func (c *Counter) DecodeFrom(r *codec.Reader) { c.n = r.U64() }
+
+// EncodeTo writes the mean accumulator's state.
+func (m *Mean) EncodeTo(w *codec.Writer) {
+	w.F64(m.sum)
+	w.U64(m.count)
+	w.F64(m.max)
+}
+
+// DecodeFrom restores the mean accumulator's state.
+func (m *Mean) DecodeFrom(r *codec.Reader) {
+	m.sum = r.F64()
+	m.count = r.U64()
+	m.max = r.F64()
+}
+
+// EncodeTo writes the peak tracker's state.
+func (p *Peak) EncodeTo(w *codec.Writer) {
+	w.I64(p.cur)
+	w.I64(p.peak)
+}
+
+// DecodeFrom restores the peak tracker's state.
+func (p *Peak) DecodeFrom(r *codec.Reader) {
+	p.cur = r.I64()
+	p.peak = r.I64()
+}
+
+// Values returns a copy of the set's name→value map; the sweep shard
+// files serialise results in this form.
+func (s *Set) Values() map[string]float64 {
+	out := make(map[string]float64, len(s.values))
+	for k, v := range s.values {
+		out[k] = v
+	}
+	return out
+}
+
+// SetFromValues rebuilds a set from a name→value map, inserting names in
+// sorted order so the rebuilt set renders deterministically.
+func SetFromValues(values map[string]float64) *Set {
+	s := NewSet()
+	for _, name := range SortedNames(values) {
+		s.Put(name, values[name])
+	}
+	return s
+}
