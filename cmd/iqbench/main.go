@@ -20,18 +20,30 @@
 //	iqbench -experiment table2 -shard 0/2 -out s0.json
 //	iqbench -experiment table2 -shard 1/2 -out s1.json
 //	iqbench -merge s0.json,s1.json -out merged.json # ≡ the single-process run
+//
+// Shards on different hosts can share warmups through a remote
+// checkpoint store (no shared filesystem needed):
+//
+//	iqbench -ckpt-serve :8377 -ckpt-dir .ckpt       # on one host
+//	iqbench -ckpt-url http://host:8377 -experiment table2 -shard 0/2 -out s0.json
+//
+// The store is strictly an accelerator: if the server is unreachable
+// or dies mid-sweep, shards warm locally and finish with identical
+// results.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/perf"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -46,11 +58,26 @@ func main() {
 		perfCompare = flag.String("perf-compare", "", "measure simulator performance and compare against the BENCH json baseline at this path (warn-only), instead of running experiments; \"auto\" picks the highest-numbered BENCH_<n>.json in the current directory")
 		perfThresh  = flag.Float64("perf-threshold", 0.5, "tolerated fractional slowdown for -perf-compare (0.5 = 50%)")
 		ckptDir     = flag.String("ckpt-dir", "", "directory backing the warm-checkpoint cache: warmups found there are loaded instead of re-simulated, new ones are saved for later runs")
+		ckptURL     = flag.String("ckpt-url", "", "base URL of a remote checkpoint store (iqbench -ckpt-serve) shared by sweep shards on different hosts; overrides -ckpt-dir, degrades to local warmups if unreachable")
+		ckptServe   = flag.String("ckpt-serve", "", "serve the -ckpt-dir checkpoint store over HTTP at this address (e.g. :8377) instead of running experiments")
 		shard       = flag.String("shard", "", "run only shard i/n of the experiment grid (format i/n) and write a shard JSON; requires a single -experiment")
 		out         = flag.String("out", "", "output path for -shard / -merge JSON (default stdout)")
 		mergeList   = flag.String("merge", "", "comma-separated shard JSON files: merge them, verify completeness, write the combined JSON and render the experiment")
 	)
 	flag.Parse()
+
+	if *ckptServe != "" {
+		if *ckptDir == "" {
+			fmt.Fprintln(os.Stderr, "iqbench: -ckpt-serve requires -ckpt-dir (the directory to serve)")
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[ckpt-serve: listening on %s, store %s]\n", *ckptServe, *ckptDir)
+		if err := http.ListenAndServe(*ckptServe, sim.NewStoreHandler(*ckptDir)); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: ckpt-serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *perfJSON != "" || *perfCompare != "" {
 		if *perfCompare == "auto" {
@@ -107,7 +134,10 @@ func main() {
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
-	if *ckptDir != "" {
+	if *ckptURL != "" {
+		o.CheckpointURL = *ckptURL
+		o.CkptStats = &experiments.CkptStats{}
+	} else if *ckptDir != "" {
 		o.CheckpointDir = *ckptDir
 		o.CkptStats = &experiments.CkptStats{}
 	}

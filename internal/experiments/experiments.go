@@ -36,22 +36,41 @@ type Options struct {
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
 	// CheckpointDir, when set, backs the warm-checkpoint cache with a
-	// directory (sim.CheckpointStore): a warmup found on disk is loaded
+	// directory (sim.DirStore): a warmup found on disk is loaded
 	// instead of re-simulated, and a warmup built here is saved for the
 	// next process. Empty keeps checkpoints in-memory only.
 	CheckpointDir string
-	// CkptStats, when non-nil, counts checkpoint-store hits and misses.
+	// CheckpointURL, when set, backs the warm-checkpoint cache with a
+	// remote HTTP store (`iqbench -ckpt-serve`; sim.HTTPStore), so
+	// shards on different hosts share warmups without a shared
+	// filesystem. Takes precedence over CheckpointDir. The store is
+	// strictly an accelerator: an unreachable or failing server
+	// degrades to local warmups (counted in CkptStats.Fallbacks) and
+	// never fails the batch.
+	CheckpointURL string
+	// CkptStats, when non-nil, counts checkpoint-store activity.
 	CkptStats *CkptStats
 }
 
-// CkptStats counts checkpoint-store activity across a batch.
-type CkptStats struct {
-	Hits   atomic.Int64 // warmups skipped by loading a stored checkpoint
-	Misses atomic.Int64 // warmups simulated (and saved to the store)
-}
+// CkptStats counts checkpoint-store activity across a batch: hits,
+// misses, put failures, remote retries, fallbacks, bytes moved.
+type CkptStats = sim.StoreStats
 
-func (s *CkptStats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d", s.Hits.Load(), s.Misses.Load())
+// storeClient resolves the configured checkpoint store, or nil when
+// the batch keeps checkpoints in memory only.
+func (o Options) storeClient() *sim.StoreClient {
+	var st sim.CheckpointStore
+	switch {
+	case o.CheckpointURL != "":
+		h := sim.NewHTTPStore(o.CheckpointURL)
+		h.Stats = o.CkptStats
+		st = h
+	case o.CheckpointDir != "":
+		st = &sim.DirStore{Dir: o.CheckpointDir}
+	default:
+		return nil
+	}
+	return &sim.StoreClient{Store: st, Stats: o.CkptStats}
 }
 
 // DefaultOptions returns the harness defaults.
@@ -112,7 +131,11 @@ type ckKey struct {
 // most the warmed machines still feeding unforked grid points instead of
 // every workload's template until the batch ends.
 type ckCache struct {
-	o  Options
+	o Options
+	// st is the cross-process checkpoint store, nil for in-memory-only
+	// batches. One client per batch, so store-failure warnings print
+	// once and a degraded remote store fails fast for the whole sweep.
+	st *sim.StoreClient
 	mu sync.Mutex
 	m  map[ckKey]*ckEntry
 }
@@ -159,20 +182,14 @@ func (c *ckCache) get(j job) (*sim.Checkpoint, error) {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		if c.o.CheckpointDir == "" {
+		if c.st == nil {
 			e.ck, e.err = sim.NewCheckpoint(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
 			return
 		}
-		st := &sim.CheckpointStore{Dir: c.o.CheckpointDir}
-		var hit bool
-		e.ck, hit, e.err = st.LoadOrNew(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
-		if s := c.o.CkptStats; s != nil && e.err == nil {
-			if hit {
-				s.Hits.Add(1)
-			} else {
-				s.Misses.Add(1)
-			}
-		}
+		// Hit/miss/fallback accounting lives in the StoreClient; store
+		// failures never surface here — LoadOrNew degrades to a local
+		// warmup instead, so a broken store cannot kill the batch.
+		e.ck, _, e.err = c.st.LoadOrNew(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
 	})
 	return e.ck, e.err
 }
@@ -223,7 +240,7 @@ func (o Options) runAll(jobs []job) (map[string]*sim.Result, error) {
 	if err := o.validateBenchmarks(); err != nil {
 		return nil, err
 	}
-	cks := &ckCache{o: o, m: make(map[ckKey]*ckEntry)}
+	cks := &ckCache{o: o, st: o.storeClient(), m: make(map[ckKey]*ckEntry)}
 	cks.retain(jobs)
 	return o.runAllWith(jobs, func(j job) (*sim.Result, error) {
 		return cks.run(j, o.Instructions)

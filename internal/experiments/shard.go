@@ -75,6 +75,12 @@ type ShardFile struct {
 	Benchmarks   []string `json:",omitempty"`
 	// Results maps job key -> result for this shard's grid positions.
 	Results map[string]*RecordedResult
+	// CkptStats records this shard's checkpoint-store counters (hits,
+	// misses, fallbacks, ...) when a store was in use. Informational:
+	// it is excluded from the merge header checks and dropped by
+	// MergeShards, so merged files stay byte-identical to store-less
+	// single-process runs.
+	CkptStats map[string]int64 `json:",omitempty"`
 }
 
 // RunShard simulates shard `shard` of `numShards` of the named
@@ -106,6 +112,9 @@ func RunShard(o Options, experiment string, shard, numShards int) (*ShardFile, e
 		Seed:         o.Seed,
 		Benchmarks:   o.Benchmarks,
 		Results:      make(map[string]*RecordedResult, len(mine)),
+	}
+	if o.CkptStats != nil {
+		sf.CkptStats = o.CkptStats.Values()
 	}
 	for key, r := range res {
 		sf.Results[key] = &RecordedResult{

@@ -214,7 +214,7 @@ func sweepForked() (insts, cycles int64, err error) {
 // LoadOrNew either warms and saves (fresh dir) or loads the saved warmup
 // (populated dir), then forks per point exactly like sweepForked.
 func sweepStore(dir string) (insts, cycles int64, hit bool, err error) {
-	st := &sim.CheckpointStore{Dir: dir}
+	st := &sim.StoreClient{Store: &sim.DirStore{Dir: dir}}
 	ck, hit, err := st.LoadOrNew(sim.DefaultConfig(sim.QueueIdeal, 512), sweepWorkload, 1, sweepWarm)
 	if err != nil {
 		return 0, 0, false, err

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPStore is a CheckpointStore client for the plain GET/PUT protocol
+// served by `iqbench -ckpt-serve` (see NewStoreHandler for the wire
+// format), so sweep shards on different hosts can share warmups
+// without a shared filesystem. Transient trouble — connection errors
+// and 5xx responses — is retried with exponential backoff and jitter;
+// once the retry budget is exhausted the store latches degraded and
+// every later call fails fast with ErrStoreUnavailable, which the
+// StoreClient turns into silent local warmups. Concurrent Gets of the
+// same key are coalesced into one request (single-flight), so a grid's
+// worth of workers warming the same workload does not stampede the
+// server.
+type HTTPStore struct {
+	// BaseURL locates the server, e.g. "http://10.0.0.7:8377".
+	BaseURL string
+	// Client performs the requests; NewHTTPStore installs one with a
+	// per-request timeout.
+	Client *http.Client
+	// Retries bounds the attempts beyond the first for one operation.
+	Retries int
+	// Backoff is the first retry's delay; it doubles per attempt, plus
+	// up to 100% jitter so synchronized shards desynchronize.
+	Backoff time.Duration
+	// Stats, when non-nil, receives retry and byte counts. (Hit/miss
+	// accounting lives in StoreClient; the same *StoreStats is shared.)
+	Stats *StoreStats
+
+	degraded atomic.Bool
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// flight is one in-progress Get shared by every concurrent caller of
+// the same key.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// NewHTTPStore returns an HTTPStore with production defaults: 30 s per
+// request, 3 retries, 100 ms initial backoff.
+func NewHTTPStore(baseURL string) *HTTPStore {
+	return &HTTPStore{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		Client:  &http.Client{Timeout: 30 * time.Second},
+		Retries: 3,
+		Backoff: 100 * time.Millisecond,
+	}
+}
+
+// Degraded reports whether the store has latched unavailable.
+func (st *HTTPStore) Degraded() bool { return st.degraded.Load() }
+
+func (st *HTTPStore) keyURL(key string) string {
+	return st.BaseURL + "/ckpt/" + url.PathEscape(key)
+}
+
+func (st *HTTPStore) stats() *StoreStats {
+	if st.Stats != nil {
+		return st.Stats
+	}
+	return &discardStats
+}
+
+// Get implements CheckpointStore, coalescing concurrent same-key
+// requests.
+func (st *HTTPStore) Get(key string) ([]byte, error) {
+	if st.degraded.Load() {
+		return nil, ErrStoreUnavailable
+	}
+	st.mu.Lock()
+	if f := st.inflight[key]; f != nil {
+		st.mu.Unlock()
+		<-f.done
+		return f.data, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	if st.inflight == nil {
+		st.inflight = make(map[string]*flight)
+	}
+	st.inflight[key] = f
+	st.mu.Unlock()
+
+	f.data, f.err = st.retry("GET", key, func() ([]byte, bool, error) { return st.getOnce(key) })
+
+	st.mu.Lock()
+	delete(st.inflight, key)
+	st.mu.Unlock()
+	close(f.done)
+	return f.data, f.err
+}
+
+// Put implements CheckpointStore.
+func (st *HTTPStore) Put(key string, data []byte) error {
+	if st.degraded.Load() {
+		return ErrStoreUnavailable
+	}
+	_, err := st.retry("PUT", key, func() ([]byte, bool, error) {
+		err := st.putOnce(key, data)
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return nil, false, err
+		}
+		return nil, true, err
+	})
+	return err
+}
+
+// retry runs one attempt function under the store's retry policy. The
+// attempt reports (result, retryable, error); a non-retryable error
+// (404, 4xx) passes straight through, while exhausting the budget on
+// retryable errors latches the store degraded.
+func (st *HTTPStore) retry(verb, key string, attempt func() ([]byte, bool, error)) ([]byte, error) {
+	for try := 0; ; try++ {
+		data, retryable, err := attempt()
+		if err == nil || !retryable {
+			return data, err
+		}
+		if try >= st.Retries {
+			st.degraded.Store(true)
+			return nil, fmt.Errorf("%w: %s %s failed %d times, last: %v",
+				ErrStoreUnavailable, verb, key, try+1, err)
+		}
+		if verb == "GET" {
+			st.stats().GetRetries.Add(1)
+		}
+		d := st.Backoff << try
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d + rand.N(d)) // full jitter on top of the exponential step
+	}
+}
+
+func (st *HTTPStore) getOnce(key string) (data []byte, retryable bool, err error) {
+	resp, err := st.Client.Get(st.keyURL(key))
+	if err != nil {
+		return nil, true, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, true, err
+		}
+		// The digest header is the end-to-end torn-transfer check: a
+		// mismatch means the body we read is not the blob the server
+		// hashed, so retry rather than hand back garbage.
+		if want := resp.Header.Get(digestHeader); want != "" && want != blobDigest(data) {
+			return nil, true, fmt.Errorf("GET %s: digest mismatch (%s != %s)", key, blobDigest(data), want)
+		}
+		return data, false, nil
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, false, ErrNotFound
+	case resp.StatusCode >= 500:
+		return nil, true, fmt.Errorf("GET %s: %s", key, resp.Status)
+	default:
+		return nil, false, fmt.Errorf("GET %s: %s", key, resp.Status)
+	}
+}
+
+func (st *HTTPStore) putOnce(key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, st.keyURL(key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(digestHeader, blobDigest(data))
+	resp, err := st.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode/100 == 2:
+		return nil
+	case resp.StatusCode >= 500:
+		return fmt.Errorf("PUT %s: %s", key, resp.Status)
+	default:
+		// 4xx is a protocol-level rejection (bad key, digest mismatch the
+		// server caught); retrying the identical request cannot help, but
+		// wrap it unretryable-shaped by reporting through retry() as-is.
+		return &permanentError{fmt.Errorf("PUT %s: %s", key, resp.Status)}
+	}
+}
+
+// permanentError marks a Put failure that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+// digestHeader carries the ETag-style content fingerprint both ways:
+// the server stamps GET responses with it and verifies it on PUT.
+const digestHeader = "X-Ckpt-Digest"
+
+// blobDigest fingerprints a blob for the digest header (FNV-1a 64,
+// hex). Not cryptographic — it guards against truncation and torn
+// transfers, not adversaries.
+func blobDigest(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

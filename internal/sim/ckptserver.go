@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// The checkpoint server turns a DirStore into a shared object store:
+// `iqbench -ckpt-serve addr -ckpt-dir d` on one host, `-ckpt-url
+// http://host:port` on every shard. The wire protocol is deliberately
+// dumb — plain keyed GET/PUT — so any HTTP cache or real object store
+// can stand in later:
+//
+//	GET  /healthz       → 200 "ok" (readiness probe for CI and scripts)
+//	GET  /ckpt/<key>    → 200 + blob, X-Ckpt-Digest/ETag headers
+//	                      404 when absent, 400 on a malformed key
+//	HEAD /ckpt/<key>    → headers only (cheap existence probe)
+//	PUT  /ckpt/<key>    → 204; body is the blob, an X-Ckpt-Digest
+//	                      header (if sent) is verified → 400 on mismatch
+//
+// Keys must satisfy ValidStoreKey; anything with path separators,
+// "..", or bytes outside the key alphabet is rejected with 400 before
+// the filesystem is consulted, so a hostile client cannot read or
+// write outside the store directory. Writes inherit DirStore's
+// temp+rename atomicity: a concurrent or crashed PUT never leaves a
+// torn blob for a reader.
+
+// maxCheckpointBytes bounds one PUT body (a checkpoint is a few MB; a
+// gigabyte means a confused or malicious client).
+const maxCheckpointBytes = 1 << 30
+
+// NewStoreHandler serves the checkpoint-store wire protocol over the
+// directory dir.
+func NewStoreHandler(dir string) http.Handler {
+	st := &DirStore{Dir: dir}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/ckpt/", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Path[len("/ckpt/"):]
+		if !ValidStoreKey(key) {
+			http.Error(w, fmt.Sprintf("invalid checkpoint key %q", key), http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			serveGet(st, w, r, key)
+		case http.MethodPut:
+			servePut(st, w, r, key)
+		default:
+			w.Header().Set("Allow", "GET, HEAD, PUT")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+func serveGet(st *DirStore, w http.ResponseWriter, r *http.Request, key string) {
+	data, err := st.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		http.Error(w, "no such checkpoint", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	digest := blobDigest(data)
+	w.Header().Set(digestHeader, digest)
+	w.Header().Set("ETag", `"`+digest+`"`)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(data)
+}
+
+func servePut(st *DirStore, w http.ResponseWriter, r *http.Request, key string) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if want := r.Header.Get(digestHeader); want != "" && want != blobDigest(data) {
+		http.Error(w, fmt.Sprintf("digest mismatch: body %s, header %s", blobDigest(data), want),
+			http.StatusBadRequest)
+		return
+	}
+	if err := st.Put(key, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set(digestHeader, blobDigest(data))
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,87 +1,160 @@
 package sim
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 )
 
-// CheckpointStore backs the warm-checkpoint cache with a directory, so
-// warmup is paid once ever per (workload, seed, warmup length, geometry)
-// rather than once per process. Files are named by the full key —
+// The warm-checkpoint cache pays warmup once ever per (workload, seed,
+// warmup length, geometry) rather than once per process: a sweep asks
+// the store before simulating a warmup, and uploads the result after.
+// The store is strictly an accelerator — every store failure degrades
+// to a local in-process warmup, so a sweep backed by a broken,
+// unreachable, or read-only store produces bit-identical results to a
+// store-less run, just slower.
+
+// CheckpointStore is a keyed blob store backing the warm-checkpoint
+// cache. Keys come from CheckpointKey and satisfy ValidStoreKey.
+// Implementations must make Put atomic with respect to concurrent
+// readers and writers of the same key: a Get never observes a torn
+// blob, and concurrent writers race benignly (last write wins; both
+// blobs are identical by construction, since the key pins everything
+// the checkpoint depends on).
+type CheckpointStore interface {
+	// Get returns the blob stored under key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Put stores data under key, replacing any previous blob.
+	Put(key string, data []byte) error
+}
+
+// ErrNotFound reports a key with no blob in the store — the one Get
+// error that means "miss" rather than "store trouble".
+var ErrNotFound = errors.New("sim: checkpoint not in store")
+
+// ErrStoreUnavailable marks a store that has exhausted its retry
+// budget and latched itself off; further calls fail fast so a sweep
+// pays the outage once, not once per grid point.
+var ErrStoreUnavailable = errors.New("sim: checkpoint store unavailable")
+
+// CheckpointKey names one checkpoint in a store:
 //
 //	ck_<workload>_s<seed>_w<warm>_g<fingerprint>.ckpt
 //
-// so stores can be shared between sweeps with different machine
-// geometries, and a geometry change simply misses instead of colliding.
-// Writes go through a temp file and rename, so a crashed or concurrent
-// writer never leaves a torn file under the final name; concurrent
-// writers of the same key race benignly (last rename wins, both files
-// are identical).
-type CheckpointStore struct {
-	// Dir is the backing directory; it is created on first save.
+// The workload component is escaped so a hostile or merely unusual
+// name (path separators, "..", spaces) cannot leave the store
+// directory or collide with another key; plain [A-Za-z0-9_-] names —
+// every built-in benchmark — are unchanged, so stores written by
+// earlier builds keep hitting. The geometry fingerprint lets sweeps
+// with different machine geometries share one store: a geometry change
+// misses instead of colliding.
+func CheckpointKey(cfg *Config, workload string, seed uint64, warm int64) string {
+	return fmt.Sprintf("ck_%s_s%d_w%d_g%016x.ckpt",
+		escapeKeyComponent(workload), seed, warm, cfg.GeometryFingerprint())
+}
+
+// escapeKeyComponent %XX-escapes every byte outside [A-Za-z0-9_-]
+// (including '%' itself, so the escaping is injective).
+func escapeKeyComponent(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if !plainKeyByte(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if plainKeyByte(s[i]) {
+			b.WriteByte(s[i])
+		} else {
+			fmt.Fprintf(&b, "%%%02X", s[i])
+		}
+	}
+	return b.String()
+}
+
+func plainKeyByte(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' ||
+		'0' <= c && c <= '9' || c == '_' || c == '-'
+}
+
+// ValidStoreKey reports whether key is a well-formed store key: the
+// byte alphabet CheckpointKey emits, no path separators, no "..". The
+// HTTP server rejects anything else before touching its directory, and
+// DirStore double-checks, so a hostile key can never escape the store.
+func ValidStoreKey(key string) bool {
+	if key == "" || len(key) > 255 || strings.Contains(key, "..") {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if !plainKeyByte(c) && c != '.' && c != '%' {
+			return false
+		}
+	}
+	return true
+}
+
+// DirStore backs the checkpoint cache with a directory (the `-ckpt-dir`
+// flag), created on first Put. Writes go through a temp file and
+// rename, so a crashed or concurrent writer never leaves a torn blob
+// under the final name.
+type DirStore struct {
+	// Dir is the backing directory.
 	Dir string
 }
 
-// Path returns the backing file for one checkpoint key.
-func (st *CheckpointStore) Path(cfg *Config, workload string, seed uint64, warm int64) string {
-	name := fmt.Sprintf("ck_%s_s%d_w%d_g%016x.ckpt", workload, seed, warm, cfg.GeometryFingerprint())
-	return filepath.Join(st.Dir, name)
+// Path returns the backing file for one store key.
+func (st *DirStore) Path(key string) string { return filepath.Join(st.Dir, key) }
+
+func (st *DirStore) pathOf(key string) (string, error) {
+	if !ValidStoreKey(key) {
+		return "", fmt.Errorf("sim: invalid checkpoint store key %q", key)
+	}
+	return st.Path(key), nil
 }
 
-// LoadOrNew returns a warmed checkpoint for the key, loading it from the
-// store when a matching file exists and building (then saving) it
-// otherwise. hit reports whether the warmup was skipped. A stale or
-// unreadable file is treated as a miss and rebuilt over.
-func (st *CheckpointStore) LoadOrNew(cfg Config, workload string, seed uint64, warm int64) (ck *Checkpoint, hit bool, err error) {
-	path := st.Path(&cfg, workload, seed, warm)
-	if ck, err := st.load(path, workload, seed, warm); err == nil {
-		return ck, true, nil
-	} else if !os.IsNotExist(err) {
-		// A present-but-unloadable file is worth mentioning: it means the
-		// store was written by an incompatible build or got corrupted, and
-		// every run will silently re-warm until it is replaced.
-		fmt.Fprintf(os.Stderr, "ckpt-store: rebuilding %s: %v\n", filepath.Base(path), err)
-	}
-	ck, err = NewCheckpoint(cfg, workload, seed, warm)
-	if err != nil {
-		return nil, false, err
-	}
-	if err := st.save(ck, path); err != nil {
-		return nil, false, fmt.Errorf("sim: saving checkpoint %s: %w", filepath.Base(path), err)
-	}
-	return ck, false, nil
-}
-
-func (st *CheckpointStore) load(path, workload string, seed uint64, warm int64) (*Checkpoint, error) {
-	f, err := os.Open(path)
+// Get implements CheckpointStore.
+func (st *DirStore) Get(key string) ([]byte, error) {
+	path, err := st.pathOf(key)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	ck, err := LoadCheckpoint(f)
-	if err != nil {
-		return nil, err
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) || errors.Is(err, syscall.ENOTDIR) {
+		// ENOTDIR: a path component of Dir is a regular file. The blob
+		// certainly is not there — report a miss and let Put (which will
+		// fail loudly) decide whether the store is usable at all.
+		return nil, ErrNotFound
 	}
-	// The key is encoded in the file name, but file contents win: a file
-	// copied or renamed across keys must not impersonate another warmup.
-	if ck.Workload() != workload || ck.Seed() != seed || ck.Warm() != warm {
-		return nil, fmt.Errorf("file holds (%s, seed %d, warm %d), wanted (%s, seed %d, warm %d)",
-			ck.Workload(), ck.Seed(), ck.Warm(), workload, seed, warm)
-	}
-	return ck, nil
+	return b, err
 }
 
-func (st *CheckpointStore) save(ck *Checkpoint, path string) error {
+// Put implements CheckpointStore with temp+rename atomicity.
+func (st *DirStore) Put(key string, data []byte) error {
+	path, err := st.pathOf(key)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(st.Dir, 0o777); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(st.Dir, filepath.Base(path)+".tmp*")
+	tmp, err := os.CreateTemp(st.Dir, key+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := ck.Save(tmp); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -89,4 +162,177 @@ func (st *CheckpointStore) save(ck *Checkpoint, path string) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// StoreStats counts checkpoint-store activity across a batch. All
+// fields are safe for concurrent update; a nil *StoreStats disables
+// counting wherever one is accepted.
+type StoreStats struct {
+	// Hits counts warmups skipped by loading a stored checkpoint.
+	Hits atomic.Int64
+	// Misses counts warmups simulated because the store had no blob
+	// (the result is then uploaded).
+	Misses atomic.Int64
+	// PutFailures counts checkpoints built but not saved (read-only
+	// directory, dead server). Never fatal: the build is used anyway.
+	PutFailures atomic.Int64
+	// GetRetries counts remote Get attempts beyond the first, i.e.
+	// transient connection errors and 5xx responses survived.
+	GetRetries atomic.Int64
+	// Fallbacks counts warmups simulated locally because the store was
+	// unreachable or failing (as opposed to a clean miss).
+	Fallbacks atomic.Int64
+	// BytesRead / BytesWritten total the blob bytes transferred on
+	// store hits and uploads.
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+}
+
+// String renders the counters for the `[ckpt-cache: ...]` line; the
+// failure-path counters appear only when nonzero, so the healthy-store
+// line stays as short as before.
+func (s *StoreStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hits=%d misses=%d", s.Hits.Load(), s.Misses.Load())
+	if v := s.Fallbacks.Load(); v != 0 {
+		fmt.Fprintf(&b, " fallbacks=%d", v)
+	}
+	if v := s.PutFailures.Load(); v != 0 {
+		fmt.Fprintf(&b, " put-failures=%d", v)
+	}
+	if v := s.GetRetries.Load(); v != 0 {
+		fmt.Fprintf(&b, " get-retries=%d", v)
+	}
+	if v := s.BytesRead.Load(); v != 0 {
+		fmt.Fprintf(&b, " bytes-read=%d", v)
+	}
+	if v := s.BytesWritten.Load(); v != 0 {
+		fmt.Fprintf(&b, " bytes-written=%d", v)
+	}
+	return b.String()
+}
+
+// Values flattens the nonzero counters for machine-readable reports
+// (the shard-file JSON).
+func (s *StoreStats) Values() map[string]int64 {
+	m := make(map[string]int64)
+	add := func(k string, v int64) {
+		if v != 0 {
+			m[k] = v
+		}
+	}
+	add("hits", s.Hits.Load())
+	add("misses", s.Misses.Load())
+	add("put_failures", s.PutFailures.Load())
+	add("get_retries", s.GetRetries.Load())
+	add("fallbacks", s.Fallbacks.Load())
+	add("bytes_read", s.BytesRead.Load())
+	add("bytes_written", s.BytesWritten.Load())
+	return m
+}
+
+// discardStats absorbs counts when a client has no Stats attached.
+var discardStats StoreStats
+
+// StoreClient drives one CheckpointStore for a sweep: load-or-build
+// semantics, key construction, validation of loaded blobs, counters,
+// and — the contract the whole design hangs on — graceful degradation.
+// No store failure is ever returned to the caller: a failing Get falls
+// back to a local warmup, a failing Put is logged and counted but the
+// freshly built (perfectly good) checkpoint is returned anyway. The
+// only errors LoadOrNew can return are the simulator's own.
+type StoreClient struct {
+	// Store is the backing blob store.
+	Store CheckpointStore
+	// Stats, when non-nil, receives hit/miss/failure counts.
+	Stats *StoreStats
+
+	// warnGet / warnPut gate the degradation warnings to one line per
+	// client per direction, so a dead store does not spam a 10k-point
+	// sweep's stderr.
+	warnGet sync.Once
+	warnPut sync.Once
+}
+
+func (sc *StoreClient) stats() *StoreStats {
+	if sc.Stats != nil {
+		return sc.Stats
+	}
+	return &discardStats
+}
+
+// LoadOrNew returns a warmed checkpoint for the key, loading it from
+// the store when a matching blob exists and building (then uploading)
+// it otherwise. hit reports whether the warmup was skipped. A stale,
+// corrupt, or mis-keyed blob is treated as a miss and rebuilt over; a
+// failing store is warned about once and never fails the sweep.
+func (sc *StoreClient) LoadOrNew(cfg Config, workload string, seed uint64, warm int64) (ck *Checkpoint, hit bool, err error) {
+	key := CheckpointKey(&cfg, workload, seed, warm)
+	data, gerr := sc.Store.Get(key)
+	switch {
+	case gerr == nil:
+		if ck := sc.decode(key, data, workload, seed, warm); ck != nil {
+			sc.stats().Hits.Add(1)
+			sc.stats().BytesRead.Add(int64(len(data)))
+			return ck, true, nil
+		}
+		// decode warned; fall through to rebuild (and replace the blob).
+	case errors.Is(gerr, ErrNotFound):
+		// Clean miss: build and upload below.
+	default:
+		// Store trouble. Warn once, build locally, and skip the upload —
+		// a store that cannot serve Get is not worth paying Put timeouts
+		// for on every grid point.
+		sc.warnGet.Do(func() {
+			fmt.Fprintf(os.Stderr, "ckpt-store: unavailable, falling back to local warmups: %v\n", gerr)
+		})
+		ck, err := NewCheckpoint(cfg, workload, seed, warm)
+		if err != nil {
+			return nil, false, err
+		}
+		sc.stats().Fallbacks.Add(1)
+		return ck, false, nil
+	}
+	ck, err = NewCheckpoint(cfg, workload, seed, warm)
+	if err != nil {
+		return nil, false, err
+	}
+	sc.stats().Misses.Add(1)
+	var buf bytes.Buffer
+	perr := ck.Save(&buf)
+	if perr == nil {
+		perr = sc.Store.Put(key, buf.Bytes())
+	}
+	if perr != nil {
+		// The checkpoint in hand is valid regardless of whether the store
+		// kept a copy; failing the sweep here would make the cache less
+		// robust than no cache at all.
+		sc.warnPut.Do(func() {
+			fmt.Fprintf(os.Stderr, "ckpt-store: cannot save %s (checkpoint still used): %v\n", key, perr)
+		})
+		sc.stats().PutFailures.Add(1)
+	} else {
+		sc.stats().BytesWritten.Add(int64(buf.Len()))
+	}
+	return ck, false, nil
+}
+
+// decode parses a stored blob and checks it really is the requested
+// checkpoint; contents win over the key, so a blob copied or renamed
+// across keys must not impersonate another warmup. Returns nil (after
+// a stderr note) for anything unusable.
+func (sc *StoreClient) decode(key string, data []byte, workload string, seed uint64, warm int64) *Checkpoint {
+	ck, err := LoadCheckpoint(bytes.NewReader(data))
+	if err == nil && (ck.Workload() != workload || ck.Seed() != seed || ck.Warm() != warm) {
+		err = fmt.Errorf("blob holds (%s, seed %d, warm %d), wanted (%s, seed %d, warm %d)",
+			ck.Workload(), ck.Seed(), ck.Warm(), workload, seed, warm)
+	}
+	if err != nil {
+		// A present-but-unloadable blob is worth mentioning: it means the
+		// store was written by an incompatible build or got corrupted, and
+		// every run will silently re-warm until it is replaced.
+		fmt.Fprintf(os.Stderr, "ckpt-store: rebuilding %s: %v\n", key, err)
+		return nil
+	}
+	return ck
 }

@@ -1,0 +1,472 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- key sanitization -------------------------------------------------
+
+// TestCheckpointKeySanitizesHostileNames: a workload name with path
+// separators, dot-dot, or arbitrary bytes must produce a valid,
+// directory-confined, collision-free store key.
+func TestCheckpointKeySanitizesHostileNames(t *testing.T) {
+	cfg := DefaultConfig(QueueIdeal, 128)
+	hostile := []string{
+		"../../etc/passwd",
+		"..",
+		"a/b",
+		`a\b`,
+		"sp ace",
+		"new\nline",
+		"per%cent",
+		"dot.dot",
+		"\x00nul",
+		"ünïcode",
+	}
+	seen := make(map[string]string)
+	for _, wl := range hostile {
+		key := CheckpointKey(&cfg, wl, 1, 1000)
+		if !ValidStoreKey(key) {
+			t.Errorf("key for %q is not valid: %q", wl, key)
+		}
+		if strings.ContainsAny(key, `/\`) || strings.Contains(key, "..") {
+			t.Errorf("key for %q can escape the store dir: %q", wl, key)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("workloads %q and %q collide on key %q", prev, wl, key)
+		}
+		seen[key] = wl
+		// The key must stay inside the store directory when joined.
+		dir := t.TempDir()
+		p := (&DirStore{Dir: dir}).Path(key)
+		if rel, err := filepath.Rel(dir, p); err != nil || strings.HasPrefix(rel, "..") {
+			t.Errorf("key for %q resolves outside the store: %q", wl, p)
+		}
+	}
+	// Escaping must be injective: a pre-escaped name is distinct from
+	// the name it would escape to.
+	a := CheckpointKey(&cfg, "a/b", 1, 1000)
+	b := CheckpointKey(&cfg, "a%2Fb", 1, 1000)
+	if a == b {
+		t.Errorf("escaped and literal names collide: %q", a)
+	}
+	// Plain benchmark names must be untouched, so stores written by
+	// older builds keep hitting.
+	if key := CheckpointKey(&cfg, "swim", 3, 500); !strings.HasPrefix(key, "ck_swim_s3_w500_g") {
+		t.Errorf("plain workload name was rewritten: %q", key)
+	}
+}
+
+// TestDirStoreRejectsInvalidKeys: raw store access with a hostile key
+// (as the HTTP server might see) must error out, not touch the
+// filesystem outside the store.
+func TestDirStoreRejectsInvalidKeys(t *testing.T) {
+	outer := t.TempDir()
+	st := &DirStore{Dir: filepath.Join(outer, "store")}
+	for _, key := range []string{"", "../escape", "a/b", "ck_..ckpt", "bad key"} {
+		if _, err := st.Get(key); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%q) = %v, want invalid-key error", key, err)
+		}
+		if err := st.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a hostile key", key)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(outer, "escape")); !os.IsNotExist(err) {
+		t.Fatal("hostile key escaped the store directory")
+	}
+}
+
+// --- graceful degradation --------------------------------------------
+
+// smallCfgKey are the shared scale parameters for the store tests:
+// small enough to keep warmups cheap, big enough to be a real machine.
+const (
+	tstWorkload = "swim"
+	tstSeed     = 3
+	tstWarm     = 10_000
+	tstN        = 2000
+)
+
+func tstConfig() Config { return DefaultConfig(QueueIdeal, 128) }
+
+// runFork forks ck under cfg and runs it, failing the test on error.
+func runFork(t *testing.T, ck *Checkpoint) *Result {
+	t.Helper()
+	p, err := ck.Fork(tstConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Run(tstN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestStorePutFailureNonFatal: a store that cannot be written (here:
+// the directory path runs through a regular file) must not fail
+// LoadOrNew — the freshly built checkpoint is in hand and perfectly
+// good. Pins the PR 5 bugfix for read-only/full-disk store dirs.
+func TestStorePutFailureNonFatal(t *testing.T) {
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocker")
+	if err := os.WriteFile(blocker, []byte("not a directory"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	stats := &StoreStats{}
+	sc := &StoreClient{Store: &DirStore{Dir: filepath.Join(blocker, "store")}, Stats: stats}
+	ck, hit, err := sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm)
+	if err != nil {
+		t.Fatalf("LoadOrNew failed on an unwritable store: %v", err)
+	}
+	if hit {
+		t.Fatal("unwritable empty store reported a hit")
+	}
+	if got := stats.PutFailures.Load(); got != 1 {
+		t.Fatalf("PutFailures = %d, want 1", got)
+	}
+	if got := stats.Misses.Load(); got != 1 {
+		t.Fatalf("Misses = %d, want 1", got)
+	}
+	// The checkpoint must be fully usable despite the failed save.
+	if r := runFork(t, ck); r.Instructions < tstN {
+		t.Fatalf("forked run simulated %d instructions, want >= %d", r.Instructions, tstN)
+	}
+}
+
+// TestStoreClientFallsBackWhenUnreachable: a wrong URL (nothing
+// listening) must cost one retry budget, then degrade to local warmups
+// that are bit-identical to store-less ones.
+func TestStoreClientFallsBackWhenUnreachable(t *testing.T) {
+	hs := NewHTTPStore("http://127.0.0.1:1") // reserved port, connection refused
+	hs.Retries = 2
+	hs.Backoff = time.Millisecond
+	stats := &StoreStats{}
+	hs.Stats = stats
+	sc := &StoreClient{Store: hs, Stats: stats}
+
+	ck, hit, err := sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm)
+	if err != nil {
+		t.Fatalf("LoadOrNew failed against an unreachable store: %v", err)
+	}
+	if hit {
+		t.Fatal("unreachable store reported a hit")
+	}
+	if !hs.Degraded() {
+		t.Fatal("store did not latch degraded after exhausting retries")
+	}
+	if got := stats.Fallbacks.Load(); got != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", got)
+	}
+	// Degraded store: the next LoadOrNew must fail fast (no new
+	// retries) and still produce a usable checkpoint.
+	before := stats.GetRetries.Load()
+	ck2, _, err := sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.GetRetries.Load(); got != before {
+		t.Fatalf("degraded store still retried: %d -> %d", before, got)
+	}
+	if got := stats.Fallbacks.Load(); got != 2 {
+		t.Fatalf("Fallbacks = %d, want 2", got)
+	}
+
+	// Fallback warmups must match a plain local warmup bit for bit.
+	plain, err := NewCheckpoint(tstConfig(), tstWorkload, tstSeed, tstWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFork(t, plain)
+	for i, c := range []*Checkpoint{ck, ck2} {
+		if got := runFork(t, c); !reflect.DeepEqual(got, want) {
+			t.Fatalf("fallback checkpoint %d differs from local warmup\ngot:  %+v\nwant: %+v", i, got.Stats, want.Stats)
+		}
+	}
+}
+
+// --- concurrency ------------------------------------------------------
+
+// TestConcurrentLoadOrNewSameKey: racing LoadOrNew calls on one key
+// must all succeed with usable, identical checkpoints (last rename
+// wins in the store), for both backends.
+func TestConcurrentLoadOrNewSameKey(t *testing.T) {
+	dir := t.TempDir()
+	srv := httptest.NewServer(NewStoreHandler(t.TempDir()))
+	defer srv.Close()
+	backends := map[string]CheckpointStore{
+		"dir":  &DirStore{Dir: dir},
+		"http": NewHTTPStore(srv.URL),
+	}
+	for name, store := range backends {
+		store := store
+		t.Run(name, func(t *testing.T) {
+			stats := &StoreStats{}
+			sc := &StoreClient{Store: store, Stats: stats}
+			const workers = 4
+			cks := make([]*Checkpoint, workers)
+			errs := make([]error, workers)
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					cks[i], _, errs[i] = sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm)
+				}(i)
+			}
+			wg.Wait()
+			var want *Result
+			for i := 0; i < workers; i++ {
+				if errs[i] != nil {
+					t.Fatalf("worker %d: %v", i, errs[i])
+				}
+				r := runFork(t, cks[i])
+				if want == nil {
+					want = r
+				} else if !reflect.DeepEqual(r, want) {
+					t.Fatalf("worker %d's checkpoint runs differently", i)
+				}
+			}
+			// Whatever write won the race must now serve a hit.
+			if _, hit, err := sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm); err != nil {
+				t.Fatal(err)
+			} else if !hit {
+				t.Fatal("store missed after concurrent writers finished")
+			}
+		})
+	}
+}
+
+// TestHTTPStoreSingleFlight: concurrent Gets of one key are coalesced
+// into a single request.
+func TestHTTPStoreSingleFlight(t *testing.T) {
+	const key = "ck_x_s1_w1_g0000000000000000.ckpt"
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the flight open so callers pile up
+		w.Write([]byte("blob"))
+	}))
+	defer srv.Close()
+	hs := NewHTTPStore(srv.URL)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := hs.Get(key)
+			if err != nil || string(data) != "blob" {
+				t.Errorf("Get = %q, %v", data, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d requests for one key, want 1 (single-flight)", n)
+	}
+}
+
+// --- HTTP protocol ----------------------------------------------------
+
+// TestHTTPStoreRoundTrip: Put then Get through a real server over a
+// real directory, plus the not-found path.
+func TestHTTPStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	srv := httptest.NewServer(NewStoreHandler(dir))
+	defer srv.Close()
+	hs := NewHTTPStore(srv.URL)
+	stats := &StoreStats{}
+	hs.Stats = stats
+
+	const key = "ck_rt_s1_w1_g00000000000000aa.ckpt"
+	blob := bytes.Repeat([]byte{0xc7, 0x01, 0x55}, 1000)
+	if err := hs.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	// The blob landed, atomically, in the served directory.
+	if got, err := os.ReadFile(filepath.Join(dir, key)); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("served dir holds %d bytes, err %v", len(got), err)
+	}
+	got, err := hs.Get(key)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Get returned %d bytes, err %v", len(got), err)
+	}
+	if _, err := hs.Get("ck_missing_s1_w1_g0000000000000000.ckpt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v, want ErrNotFound", err)
+	}
+	if hs.Degraded() {
+		t.Fatal("healthy store latched degraded")
+	}
+}
+
+// TestHTTPStoreRetries5xx: transient 5xx responses are retried (and
+// counted); the store only degrades when the budget is exhausted.
+func TestHTTPStoreRetries5xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "catching my breath", http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, "no such checkpoint", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	hs := NewHTTPStore(srv.URL)
+	hs.Retries = 3
+	hs.Backoff = time.Millisecond
+	stats := &StoreStats{}
+	hs.Stats = stats
+
+	if _, err := hs.Get("ck_x_s1_w1_g0000000000000000.ckpt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after transient 5xx = %v, want ErrNotFound", err)
+	}
+	if got := stats.GetRetries.Load(); got != 2 {
+		t.Fatalf("GetRetries = %d, want 2", got)
+	}
+	if hs.Degraded() {
+		t.Fatal("store degraded although the retry budget was not exhausted")
+	}
+}
+
+// TestHTTPStoreDegradesAfterBudget: persistent 5xx exhausts the budget
+// and latches the store off; later calls fail fast without requests.
+func TestHTTPStoreDegradesAfterBudget(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	hs := NewHTTPStore(srv.URL)
+	hs.Retries = 2
+	hs.Backoff = time.Millisecond
+
+	if err := hs.Put("ck_x_s1_w1_g0000000000000000.ckpt", []byte("b")); !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("Put = %v, want ErrStoreUnavailable", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	if _, err := hs.Get("ck_x_s1_w1_g0000000000000000.ckpt"); !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("Get on degraded store = %v, want ErrStoreUnavailable", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("degraded store still sent requests (%d total)", got)
+	}
+}
+
+// TestStoreHandlerRejectsHostileKeys: the server must refuse keys that
+// could escape or confuse the store before touching the directory.
+func TestStoreHandlerRejectsHostileKeys(t *testing.T) {
+	dir := t.TempDir()
+	h := NewStoreHandler(dir)
+	bad := []string{
+		"ck_..ckpt",              // dot-dot
+		"ck_a%2F..%2Fb.ckpt",     // literal % escapes are fine bytes, but..
+		"bad key.ckpt",           // space
+		"ck_" + "\x01" + ".ckpt", // control byte
+		"",                       // empty
+	}
+	// ..except the %2F case: decoded it is still a valid alphabet, so
+	// craft one that really is hostile after the server's decoding.
+	for _, key := range bad {
+		if key == "ck_a%2F..%2Fb.ckpt" {
+			continue // covered by the raw-path probe below
+		}
+		req := httptest.NewRequest(http.MethodPut, "http://store/ckpt/x", strings.NewReader("x"))
+		req.URL.Path = "/ckpt/" + key // bypass parsing so raw bytes reach the handler
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("PUT with key %q: status %d, want 400", key, w.Code)
+		}
+	}
+	// A traversal attempt via an escaped path against the real server
+	// stack must not create anything outside the store directory.
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/ckpt/..%2Fescaped", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		t.Fatalf("traversal PUT succeeded with %s", resp.Status)
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escaped")); !os.IsNotExist(err) {
+		t.Fatal("traversal PUT wrote outside the store directory")
+	}
+	// Digest mismatch is caught server-side.
+	req2 := httptest.NewRequest(http.MethodPut, "http://store/ckpt/ck_d_s1_w1_g0000000000000000.ckpt",
+		strings.NewReader("body"))
+	req2.Header.Set("X-Ckpt-Digest", "00000000000000ff")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req2)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("digest-mismatch PUT: status %d, want 400", w.Code)
+	}
+}
+
+// TestHTTPStoreCorruptBlobRebuilt: a present-but-corrupt remote blob is
+// a miss — rebuilt locally and re-uploaded — after which the store
+// serves real hits. Mirrors the DirStore corruption test in
+// serialize_test.go.
+func TestHTTPStoreCorruptBlobRebuilt(t *testing.T) {
+	srv := httptest.NewServer(NewStoreHandler(t.TempDir()))
+	defer srv.Close()
+	hs := NewHTTPStore(srv.URL)
+	stats := &StoreStats{}
+	hs.Stats = stats
+	sc := &StoreClient{Store: hs, Stats: stats}
+
+	cfg := tstConfig()
+	key := CheckpointKey(&cfg, tstWorkload, tstSeed, tstWarm)
+	if err := hs.Put(key, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	ck, hit, err := sc.LoadOrNew(cfg, tstWorkload, tstSeed, tstWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("corrupt blob counted as a hit")
+	}
+	if r := runFork(t, ck); r.Instructions < tstN {
+		t.Fatalf("rebuilt checkpoint unusable: %d instructions", r.Instructions)
+	}
+	// The rebuild replaced the garbage; now it hits.
+	if _, hit, err := sc.LoadOrNew(cfg, tstWorkload, tstSeed, tstWarm); err != nil {
+		t.Fatal(err)
+	} else if !hit {
+		t.Fatal("store missed after the corrupt blob was replaced")
+	}
+	if stats.Hits.Load() != 1 || stats.Misses.Load() != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", stats.Hits.Load(), stats.Misses.Load())
+	}
+}
+
+// TestCheckpointKeyExample documents the on-the-wire key shape.
+func TestCheckpointKeyExample(t *testing.T) {
+	cfg := DefaultConfig(QueueIdeal, 128)
+	key := CheckpointKey(&cfg, "swim", 1, 300000)
+	want := fmt.Sprintf("ck_swim_s1_w300000_g%016x.ckpt", cfg.GeometryFingerprint())
+	if key != want {
+		t.Fatalf("key = %q, want %q", key, want)
+	}
+}

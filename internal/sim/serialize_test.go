@@ -135,13 +135,20 @@ func TestLoadCheckpointRejectsCfgTamper(t *testing.T) {
 	}
 }
 
+// newDirClient builds a StoreClient over a fresh DirStore for tests.
+func newDirClient(t *testing.T) (*StoreClient, *DirStore) {
+	t.Helper()
+	dir := &DirStore{Dir: t.TempDir()}
+	return &StoreClient{Store: dir}, dir
+}
+
 // TestCheckpointStoreHit: the second LoadOrNew for the same key must be a
 // hit, and forks from the loaded checkpoint must match forks from the one
 // that was built and saved.
 func TestCheckpointStoreHit(t *testing.T) {
 	const workload, seed, n, warm = "swim", 2, 6000, 30_000
 	cfg := SegmentedConfig(256, 64, true, true)
-	st := &CheckpointStore{Dir: t.TempDir()}
+	st, _ := newDirClient(t)
 
 	ck1, hit, err := st.LoadOrNew(cfg, workload, seed, warm)
 	if err != nil {
@@ -184,7 +191,7 @@ func TestCheckpointStoreHit(t *testing.T) {
 // rebuilt, not trusted.
 func TestCheckpointStoreMissOnGeometryChange(t *testing.T) {
 	const workload, seed, warm = "swim", 2, 20_000
-	st := &CheckpointStore{Dir: t.TempDir()}
+	st, dir := newDirClient(t)
 	cfg := DefaultConfig(QueueIdeal, 128)
 	if _, _, err := st.LoadOrNew(cfg, workload, seed, warm); err != nil {
 		t.Fatal(err)
@@ -200,7 +207,7 @@ func TestCheckpointStoreMissOnGeometryChange(t *testing.T) {
 		t.Fatal("geometry change did not move the fingerprint")
 	}
 
-	path := st.Path(&cfg, workload, seed, warm)
+	path := dir.Path(CheckpointKey(&cfg, workload, seed, warm))
 	if err := os.WriteFile(path, []byte("garbage"), 0o666); err != nil {
 		t.Fatal(err)
 	}
@@ -225,13 +232,13 @@ func TestCheckpointStoreMissOnGeometryChange(t *testing.T) {
 // file name).
 func TestCheckpointStoreRejectsImpersonation(t *testing.T) {
 	const workload, seed, warm = "gcc", 5, 20_000
-	st := &CheckpointStore{Dir: t.TempDir()}
+	st, dir := newDirClient(t)
 	cfg := DefaultConfig(QueueIdeal, 128)
 	if _, _, err := st.LoadOrNew(cfg, workload, seed, warm); err != nil {
 		t.Fatal(err)
 	}
-	src := st.Path(&cfg, workload, seed, warm)
-	dst := st.Path(&cfg, workload, seed+1, warm)
+	src := dir.Path(CheckpointKey(&cfg, workload, seed, warm))
+	dst := dir.Path(CheckpointKey(&cfg, workload, seed+1, warm))
 	b, err := os.ReadFile(src)
 	if err != nil {
 		t.Fatal(err)
