@@ -60,6 +60,7 @@ func main() {
 		ckptDir     = flag.String("ckpt-dir", "", "directory backing the warm-checkpoint cache: warmups found there are loaded instead of re-simulated, new ones are saved for later runs")
 		ckptURL     = flag.String("ckpt-url", "", "base URL of a remote checkpoint store (iqbench -ckpt-serve) shared by sweep shards on different hosts; overrides -ckpt-dir, degrades to local warmups if unreachable")
 		ckptServe   = flag.String("ckpt-serve", "", "serve the -ckpt-dir checkpoint store over HTTP at this address (e.g. :8377) instead of running experiments")
+		noSkip      = flag.Bool("no-skip", false, "step every simulated cycle instead of skipping provably idle spans; results are bit-identical either way (this flag exists for cross-checking and for before/after perf comparisons)")
 		shard       = flag.String("shard", "", "run only shard i/n of the experiment grid (format i/n) and write a shard JSON; requires a single -experiment")
 		out         = flag.String("out", "", "output path for -shard / -merge JSON (default stdout)")
 		mergeList   = flag.String("merge", "", "comma-separated shard JSON files: merge them, verify completeness, write the combined JSON and render the experiment")
@@ -89,11 +90,14 @@ func main() {
 			*perfCompare = latest
 		}
 		start := time.Now()
-		b := perf.Measure()
+		b := perf.Measure(*noSkip)
 		for _, w := range b.Workloads {
 			fmt.Printf("%-28s %12.0f ns/op %8d B/op %6d allocs/op", w.Name, w.NsPerOp, w.BytesPerOp, w.AllocsPerOp)
 			if w.SimMIPS > 0 {
 				fmt.Printf(" %8.3f simMIPS %8.0f ns/simcycle", w.SimMIPS, w.NsPerSimCycle)
+			}
+			if w.SkipWindows > 0 {
+				fmt.Printf(" [skip: %d cycles / %d windows]", w.SkippedCycles, w.SkipWindows)
 			}
 			fmt.Println()
 		}
@@ -131,6 +135,7 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Parallel = *par
+	o.NoSkip = *noSkip
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}

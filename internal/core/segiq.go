@@ -353,36 +353,109 @@ func (q *SegmentedIQ) BeginCycle(cycle int64) {
 	// gated behind the sampling knob (Config.StatsEvery); it has no effect
 	// on scheduling.
 	if every := int64(q.cfg.StatsEvery); every <= 1 || cycle%every == 0 {
-		q.stOccupancy.Observe(float64(q.total))
-		q.stActiveSegs.Observe(float64(q.active))
-		for k := range q.segs {
-			q.stSegOcc[k].Observe(float64(len(q.segs[k])))
-		}
-		// Conventional-wakeup readiness (both operands): popcount of the
-		// ready words, minus ready stores whose data operand is still
-		// outstanding (their ready bit gates on the address alone).
-		ready0, readyAll := 0, 0
-		for k := range q.segs {
-			c := 0
-			for wi, w := range q.readyW[k] {
-				c += bits.OnesCount64(w)
-				sw := w & q.storeW[k][wi]
-				for sw != 0 {
-					b := bits.TrailingZeros64(sw)
-					sw &= sw - 1
-					if !q.segs[k][wi<<6+b].u.OperandReady(0, cycle) {
-						c--
-					}
+		q.sampleStats(cycle)
+	}
+}
+
+// sampleStats records the per-cycle sampled statistics. It is called from
+// BeginCycle on sampled cycles and replayed by SkipCycles for elided idle
+// cycles, so it must not mutate scheduling state.
+func (q *SegmentedIQ) sampleStats(cycle int64) {
+	q.stOccupancy.Observe(float64(q.total))
+	q.stActiveSegs.Observe(float64(q.active))
+	for k := range q.segs {
+		q.stSegOcc[k].Observe(float64(len(q.segs[k])))
+	}
+	// Conventional-wakeup readiness (both operands): popcount of the
+	// ready words, minus ready stores whose data operand is still
+	// outstanding (their ready bit gates on the address alone).
+	ready0, readyAll := 0, 0
+	for k := range q.segs {
+		c := 0
+		for wi, w := range q.readyW[k] {
+			c += bits.OnesCount64(w)
+			sw := w & q.storeW[k][wi]
+			for sw != 0 {
+				b := bits.TrailingZeros64(sw)
+				sw &= sw - 1
+				if !q.segs[k][wi<<6+b].u.OperandReady(0, cycle) {
+					c--
 				}
 			}
-			readyAll += c
-			if k == 0 {
-				ready0 = c
+		}
+		readyAll += c
+		if k == 0 {
+			ready0 = c
+		}
+	}
+	q.stReadySeg0.Observe(float64(ready0))
+	q.stReadyTotal.Observe(float64(readyAll))
+	q.chains.sample()
+}
+
+// Quiescent implements iq.Queue. The segmented design is frozen at the end
+// of a cycle when nothing moved this cycle, no deadlock recovery is armed,
+// segment 0 holds no issueable instruction, every unresolved producer has no
+// completion stamped yet, the pipelined chain wires carry no in-flight
+// signal, no entry arrived this cycle (it would become promotion-eligible
+// next cycle), and no self-timed countdown — in an entry's chain refs or in
+// a register-table row — is still ticking. Under those conditions BeginCycle
+// on the elided cycles would only shift empty wire positions and run an
+// empty promotion pass.
+func (q *SegmentedIQ) Quiescent(cycle int64) bool {
+	if q.issuedThisCycle != 0 || q.promotedThisCycle != 0 ||
+		q.dispatchedThisCycle != 0 || q.recoverPending {
+		return false
+	}
+	if bitvec.Any(q.readyW[0]) {
+		return false
+	}
+	for _, u := range q.unresolved {
+		if u.Complete != uop.NotYet {
+			return false
+		}
+	}
+	for k := range q.wires.cur {
+		if len(q.wires.cur[k]) != 0 {
+			return false
+		}
+	}
+	for k := range q.segs {
+		for _, e := range q.segs[k] {
+			if e.arrived >= q.curCycle {
+				return false
+			}
+			for i := 0; i < e.nrefs; i++ {
+				cr := &e.refs[i]
+				if cr.selfTimed && !cr.suspended && cr.delay > 0 {
+					return false
+				}
 			}
 		}
-		q.stReadySeg0.Observe(float64(ready0))
-		q.stReadyTotal.Observe(float64(readyAll))
-		q.chains.sample()
+	}
+	for i := range q.table {
+		re := &q.table[i]
+		if re.valid && re.selfTimed && !re.suspended && re.latency > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SkipCycles implements iq.Queue: replay the state evolution BeginCycle
+// would have produced on the elided cycles [from, to). With the queue
+// quiescent the only effects are the wire-pipe shift (a slice-header
+// rotation that must be replayed exactly for state equivalence even though
+// every position is empty) and the sampled statistics.
+func (q *SegmentedIQ) SkipCycles(from, to int64) {
+	every := int64(q.cfg.StatsEvery)
+	for x := from; x < to; x++ {
+		if !q.cfg.InstantWires {
+			q.wires.shift()
+		}
+		if every <= 1 || x%every == 0 {
+			q.sampleStats(x)
+		}
 	}
 }
 

@@ -290,6 +290,48 @@ func (q *DistIQ) BeginCycle(cycle int64) {
 	}
 }
 
+// Quiescent implements iq.Queue: every scheduling-array row is empty (no
+// issue, no straggler relocation, no wait-buffer release target) and no
+// wait-buffer entry is flagged for re-evaluation — every waiting
+// instruction is parked on an unresolved producer, which resolves via
+// events the engine bounds the skip window by. Issued producers whose
+// completion is pending re-check keep the queue non-quiescent.
+func (q *DistIQ) Quiescent(cycle int64) bool {
+	for _, row := range q.lines {
+		if len(row) > 0 {
+			return false
+		}
+	}
+	for _, w := range q.recheckW {
+		if w != 0 {
+			return false
+		}
+	}
+	for _, u := range q.unresolved {
+		if u.Complete != uop.NotYet {
+			return false
+		}
+	}
+	return true
+}
+
+// SkipCycles implements iq.Queue: replay BeginCycle's observable work on
+// a frozen queue — the empty head row still retires (ring rotation, base
+// advance) and the wait-buffer occupancy statistic still samples.
+func (q *DistIQ) SkipCycles(from, to int64) {
+	every := int64(q.cfg.StatsEvery)
+	for x := from; x < to; x++ {
+		if every <= 1 || x%every == 0 {
+			q.stWaitOcc.Observe(float64(len(q.wait)))
+		}
+		if q.base <= x {
+			q.lines[q.head] = nil
+			q.head = (q.head + 1) % q.cfg.Lines
+			q.base++
+		}
+	}
+}
+
 // relocateStragglers moves unready head-row instructions to later rows at
 // their re-predicted ready offsets. When the array is completely full the
 // straggler swaps places with the globally oldest array instruction —

@@ -50,6 +50,11 @@ type Options struct {
 	CheckpointURL string
 	// CkptStats, when non-nil, counts checkpoint-store activity.
 	CkptStats *CkptStats
+	// NoSkip steps every machine cycle instead of skipping provably idle
+	// spans. Skipping is bit-identical by construction, so results (and
+	// shard files, which deliberately omit this knob) are byte-identical
+	// either way; the flag exists for cross-checking and debugging.
+	NoSkip bool
 }
 
 // CkptStats counts checkpoint-store activity across a batch: hits,
@@ -222,6 +227,9 @@ func (c *ckCache) run(j job, instructions int64) (*sim.Result, error) {
 		c.forked(j)
 		return nil, err
 	}
+	// Applied at fork time rather than in the grid's configs so the
+	// knob never splits checkpoint keys or shard headers.
+	j.cfg.NoSkip = c.o.NoSkip
 	p, err := ck.Fork(j.cfg)
 	c.forked(j)
 	if err != nil {

@@ -131,16 +131,27 @@ type Cache struct {
 
 	sets      int
 	lineShift uint
+	setShift  uint // log2(sets); setOf derives the tag with a shift, not a divide
 	lines     []cacheLine
 	stamp     uint64
+
+	// gen counts MSHR allocations and releases — the only events that can
+	// change whether the cache would accept a previously rejected access.
+	// The LSQ memoises rejections against it (uop.RejGen) so a load stuck
+	// behind a full MSHR file repeats its rejection without re-walking the
+	// tag array and MSHR file every cycle.
+	gen uint64
 
 	// mshrTab is the MSHR file itself: a flat slot array sized to
 	// cfg.MSHRs, matching the small fully-associative structure in real
 	// hardware. Lookups scan every slot — at the 8–32 MSHRs of Table 1
 	// that is a handful of contiguous compares, cheaper than hashing into
 	// a Go map — and the simulator's memory-bound profile is dominated by
-	// these lookups (see BenchmarkMSHRLookup).
+	// these lookups (see BenchmarkMSHRLookup). mshrLine mirrors the slots'
+	// line addresses (noLine when free) so the scan compares against one
+	// compact uint64 array instead of dereferencing a pointer per slot.
 	mshrTab   []*mshr
+	mshrLine  []uint64
 	mshrCount int
 	// mshrPool recycles mshr structures (and their targets/upDones
 	// capacity) so steady-state misses allocate nothing.
@@ -183,14 +194,20 @@ func NewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) (*Cache, error) {
 	}
 	nLines := cfg.Size / cfg.LineSize
 	c := &Cache{
-		cfg:     cfg,
-		eq:      eq,
-		lower:   lower,
-		sets:    nLines / cfg.Ways,
-		lines:   make([]cacheLine, nLines),
-		mshrTab: make([]*mshr, cfg.MSHRs),
+		cfg:      cfg,
+		eq:       eq,
+		lower:    lower,
+		sets:     nLines / cfg.Ways,
+		lines:    make([]cacheLine, nLines),
+		mshrTab:  make([]*mshr, cfg.MSHRs),
+		mshrLine: make([]uint64, cfg.MSHRs),
+	}
+	for i := range c.mshrLine {
+		c.mshrLine[i] = noLine
 	}
 	for c.lineShift = 0; 1<<c.lineShift != cfg.LineSize; c.lineShift++ {
+	}
+	for c.setShift = 0; 1<<c.setShift != c.sets; c.setShift++ {
 	}
 	c.fetchFn = c.startFetch
 	c.deliverFn = c.deliverTargets
@@ -198,13 +215,17 @@ func NewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) (*Cache, error) {
 	return c, nil
 }
 
+// noLine marks a free MSHR slot in mshrLine. Line addresses are aligned
+// to the line size, so the all-ones pattern can never collide.
+const noLine = ^uint64(0)
+
 // lookupMSHR returns the busy MSHR registered for lineAddr, or nil. The
 // scan covers the whole slot array; entries are sparse and the array is a
 // cache line or two.
 func (c *Cache) lookupMSHR(lineAddr uint64) *mshr {
-	for _, m := range c.mshrTab {
-		if m != nil && m.lineAddr == lineAddr {
-			return m
+	for i, la := range c.mshrLine {
+		if la == lineAddr {
+			return c.mshrTab[i]
 		}
 	}
 	return nil
@@ -227,10 +248,12 @@ func (c *Cache) allocMSHR(lineAddr uint64) *mshr {
 	for i, s := range c.mshrTab {
 		if s == nil {
 			c.mshrTab[i] = m
+			c.mshrLine[i] = lineAddr
 			break
 		}
 	}
 	c.mshrCount++
+	c.gen++
 	if c.mshrCount > c.mshrPeak {
 		c.mshrPeak = c.mshrCount
 	}
@@ -240,10 +263,13 @@ func (c *Cache) allocMSHR(lineAddr uint64) *mshr {
 // releaseMSHR unregisters the MSHR for lineAddr and returns it, or nil if
 // none is busy for that line.
 func (c *Cache) releaseMSHR(lineAddr uint64) *mshr {
-	for i, m := range c.mshrTab {
-		if m != nil && m.lineAddr == lineAddr {
+	for i, la := range c.mshrLine {
+		if la == lineAddr {
+			m := c.mshrTab[i]
 			c.mshrTab[i] = nil
+			c.mshrLine[i] = noLine
 			c.mshrCount--
+			c.gen++
 			return m
 		}
 	}
@@ -326,7 +352,7 @@ func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineS
 
 func (c *Cache) setOf(lineAddr uint64) ([]cacheLine, uint64) {
 	idx := int((lineAddr >> c.lineShift) & uint64(c.sets-1))
-	tag := (lineAddr >> c.lineShift) / uint64(c.sets)
+	tag := (lineAddr >> c.lineShift) >> c.setShift
 	return c.lines[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways], tag
 }
 
@@ -368,6 +394,15 @@ func (c *Cache) Access(now int64, addr uint64, write bool, done func(now int64, 
 // and a per-access argument, so a caller issuing many accesses (the LSQ)
 // need not allocate a closure per access.
 func (c *Cache) AccessArg(now int64, addr uint64, write bool, done func(now int64, k Kind, arg any), arg any) bool {
+	_, ok := c.AccessArgKind(now, addr, write, done, arg)
+	return ok
+}
+
+// AccessArgKind is AccessArg reporting the tag-array outcome of an
+// accepted access — what Probe would have returned immediately before it.
+// Callers that need both (the LSQ probes for miss-detection signalling,
+// then accesses) save a second tag and MSHR scan per access.
+func (c *Cache) AccessArgKind(now int64, addr uint64, write bool, done func(now int64, k Kind, arg any), arg any) (Kind, bool) {
 	lineAddr := c.LineAddr(addr)
 	if ln := c.lookup(lineAddr); ln != nil {
 		c.stats.Accesses++
@@ -378,17 +413,17 @@ func (c *Cache) AccessArg(now int64, addr uint64, write bool, done func(now int6
 			ln.dirty = true
 		}
 		c.scheduleHit(now+int64(c.cfg.HitLatency), done, arg)
-		return true
+		return KindHit, true
 	}
 	if m := c.lookupMSHR(lineAddr); m != nil {
 		c.stats.Accesses++
 		c.stats.DelayedHits++
 		m.targets = append(m.targets, mshrTarget{write: write, kind: KindDelayedHit, done: done, arg: arg})
-		return true
+		return KindDelayedHit, true
 	}
 	if c.mshrCount >= c.cfg.MSHRs {
 		c.stats.MSHRRejects++
-		return false
+		return KindMiss, false
 	}
 	c.stats.Accesses++
 	c.stats.Misses++
@@ -396,7 +431,7 @@ func (c *Cache) AccessArg(now int64, addr uint64, write bool, done func(now int6
 	m.targets = append(m.targets, mshrTarget{write: write, kind: KindMiss, done: done, arg: arg})
 	// The fetch leaves after the tag-lookup latency.
 	c.eq.ScheduleArg(now+int64(c.cfg.HitLatency), c.fetchFn, m)
-	return true
+	return KindMiss, true
 }
 
 // FetchLine implements Supplier for an upper-level cache: a read of the
@@ -543,6 +578,20 @@ func (c *Cache) reserveLink(ready int64) int64 {
 
 // OutstandingMisses returns the number of busy MSHRs.
 func (c *Cache) OutstandingMisses() int { return c.mshrCount }
+
+// SkipMSHRRejects records n MSHR-full rejections without performing the
+// accesses. The cycle-skipping engine uses it to replay the rejections a
+// blocked load would have accumulated on elided idle cycles; the real
+// reject path (AccessArg finding every MSHR busy) touches only this
+// counter, so the replay is exact.
+func (c *Cache) SkipMSHRRejects(n uint64) { c.stats.MSHRRejects += n }
+
+// AcceptGen identifies the MSHR file's acceptance state: it advances
+// exactly when an MSHR is allocated or released (the only transitions —
+// fills included, which release — that can change the outcome of an
+// access the cache has rejected). While it is unchanged, a rejected
+// access would be rejected again.
+func (c *Cache) AcceptGen() uint64 { return c.gen }
 
 // pendingFetchLen returns the number of queued upper-level fetches.
 func (c *Cache) pendingFetchLen() int { return len(c.pendingFetches) - c.pfHead }

@@ -76,8 +76,9 @@ func (q *EventQueue) pop() event {
 	return e
 }
 
-// Schedule runs fn at the given cycle. Scheduling in the past is treated
-// as "now" by RunDue.
+// Schedule runs fn at the given cycle. An event scheduled in the past
+// fires on the next RunDue, but still observes its own scheduled time —
+// see RunDue's time contract.
 func (q *EventQueue) Schedule(when int64, fn func(now int64)) {
 	q.seq++
 	q.push(event{when: when, seq: q.seq, fn: fn})
@@ -95,14 +96,22 @@ func (q *EventQueue) ScheduleArg(when int64, fn func(now int64, arg any), arg an
 
 // RunDue executes every event whose time is <= now, including events those
 // events schedule at or before now. It returns the number executed.
+//
+// Time contract: a callback observes the event's own scheduled time, not
+// the caller's clock. The two only differ when RunDue is called with a
+// clock past the event's due time — which cannot happen while the engine
+// ticks every cycle, but does the moment idle cycles are skipped: an
+// event due at cycle 90 must still see 90 even if the machine next wakes
+// at 120. Completion stamps derived from the callback time stay exact
+// either way.
 func (q *EventQueue) RunDue(now int64) int {
 	n := 0
 	for len(q.h) > 0 && q.h[0].when <= now {
 		e := q.pop()
 		if e.fn != nil {
-			e.fn(now)
+			e.fn(e.when)
 		} else {
-			e.argFn(now, e.arg)
+			e.argFn(e.when, e.arg)
 		}
 		n++
 	}

@@ -66,6 +66,39 @@ func TestEventQueueCascading(t *testing.T) {
 	}
 }
 
+// Regression: callbacks observe the event's own scheduled time, not the
+// clock RunDue was called with. With idle-cycle skipping the engine's
+// clock can be far past an event's due time on the RunDue that drains it;
+// completion stamps taken from the callback argument must not drift.
+func TestEventQueuePastDueObservesScheduledTime(t *testing.T) {
+	var q EventQueue
+	var got []int64
+	q.Schedule(90, func(now int64) { got = append(got, now) })
+	q.ScheduleArg(95, func(now int64, arg any) { got = append(got, now+*arg.(*int64)) }, new(int64))
+	q.Schedule(120, func(now int64) { got = append(got, now) })
+	// The machine skips straight to cycle 120: all three events drain in
+	// one call, each seeing its own time.
+	if n := q.RunDue(120); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	want := []int64{90, 95, 120}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("observed times = %v, want %v", got, want)
+		}
+	}
+	// Cascading past-due events keep the contract too.
+	q.Schedule(10, func(now int64) {
+		got = append(got, now)
+		q.Schedule(now+5, func(now int64) { got = append(got, now) })
+	})
+	got = got[:0]
+	q.RunDue(200)
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("cascaded observed times = %v, want [10 15]", got)
+	}
+}
+
 // Property: events always run in non-decreasing time order.
 func TestEventQueueOrderProperty(t *testing.T) {
 	f := func(times []uint16) bool {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uop"
 )
 
@@ -49,6 +50,14 @@ type Metrics struct {
 	SimMIPS         float64 `json:"sim_mips,omitempty"`
 	NsPerSimCycle   float64 `json:"ns_per_sim_cycle,omitempty"`
 	SimIPC          float64 `json:"sim_ipc,omitempty"`
+
+	// SkippedCycles / SkipWindows report the event-driven idle-cycle
+	// skipping activity of the machine workloads: how many of SimCycles
+	// were elided rather than stepped, and in how many windows. Telemetry
+	// only — skipping is bit-identical, so SimCycles and SimIPC are
+	// unaffected. Absent (zero) in baselines predating the skipper.
+	SkippedCycles int64 `json:"skipped_cycles,omitempty"`
+	SkipWindows   int64 `json:"skip_windows,omitempty"`
 }
 
 // Baseline is a full performance capture.
@@ -132,29 +141,48 @@ func conventionalCycleLoop(b *testing.B) {
 	}
 }
 
+// machineRun reports one full-machine simulation: the sim.Result plus the
+// engine's idle-skipping telemetry.
+type machineRun struct {
+	cycles, insts    int64
+	ipc              float64
+	skipped, windows int64
+}
+
 // machineWorkload builds the full-machine workload for one queue design:
 // the Table 1 processor run for a pinned instruction budget.
-func machineWorkload(cfg sim.Config, workload string, n, warm int64) (func(b *testing.B), *int64, *int64, *float64) {
-	var cycles, insts int64
-	var ipc float64
+func machineWorkload(cfg sim.Config, workload string, n, warm int64) (func(b *testing.B), *machineRun) {
+	var out machineRun
 	fn := func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := sim.RunWorkloadWarm(cfg, workload, 1, n, warm)
+			s, err := trace.New(workload, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
-			cycles, insts, ipc = res.Cycles, res.Instructions, res.IPC
+			p, err := sim.New(cfg, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Warm(s, warm)
+			res, err := p.Run(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = machineRun{
+				cycles: res.Cycles, insts: res.Instructions, ipc: res.IPC,
+				skipped: p.SkippedCycles(), windows: p.SkipWindows(),
+			}
 		}
 	}
-	return fn, &cycles, &insts, &ipc
+	return fn, &out
 }
 
 // sweepGrid is the pinned grid of the sweep workloads: six points varying
 // queue design and size under one memory/branch geometry, the shape of a
 // real iqbench sweep.
-func sweepGrid() []sim.Config {
-	return []sim.Config{
+func sweepGrid(noSkip bool) []sim.Config {
+	grid := []sim.Config{
 		sim.DefaultConfig(sim.QueueIdeal, 512),
 		sim.SegmentedConfig(512, 128, true, true),
 		sim.SegmentedConfig(512, 64, true, true),
@@ -162,6 +190,10 @@ func sweepGrid() []sim.Config {
 		sim.PrescheduledConfig(320),
 		sim.DistanceConfig(320),
 	}
+	for i := range grid {
+		grid[i].NoSkip = noSkip
+	}
+	return grid
 }
 
 // The sweep pins the default iqbench warmup (300k instructions) so the
@@ -174,8 +206,8 @@ const (
 
 // sweepCold sweeps the grid the pre-checkpoint way: every point warms the
 // machine from scratch.
-func sweepCold() (insts, cycles int64, err error) {
-	for _, cfg := range sweepGrid() {
+func sweepCold(noSkip bool) (insts, cycles int64, err error) {
+	for _, cfg := range sweepGrid(noSkip) {
 		r, err := sim.RunWorkloadWarm(cfg, sweepWorkload, 1, sweepN, sweepWarm)
 		if err != nil {
 			return 0, 0, err
@@ -190,12 +222,12 @@ func sweepCold() (insts, cycles int64, err error) {
 // checkpoint per point. Its simulated totals must equal sweepCold's —
 // forked runs are bit-identical — while its wall-clock drops by roughly
 // the warmup fraction.
-func sweepForked() (insts, cycles int64, err error) {
+func sweepForked(noSkip bool) (insts, cycles int64, err error) {
 	ck, err := sim.NewCheckpoint(sim.DefaultConfig(sim.QueueIdeal, 512), sweepWorkload, 1, sweepWarm)
 	if err != nil {
 		return 0, 0, err
 	}
-	for _, cfg := range sweepGrid() {
+	for _, cfg := range sweepGrid(noSkip) {
 		p, err := ck.Fork(cfg)
 		if err != nil {
 			return 0, 0, err
@@ -213,13 +245,13 @@ func sweepForked() (insts, cycles int64, err error) {
 // sweepStore sweeps the grid through a directory-backed checkpoint store:
 // LoadOrNew either warms and saves (fresh dir) or loads the saved warmup
 // (populated dir), then forks per point exactly like sweepForked.
-func sweepStore(dir string) (insts, cycles int64, hit bool, err error) {
+func sweepStore(dir string, noSkip bool) (insts, cycles int64, hit bool, err error) {
 	st := &sim.StoreClient{Store: &sim.DirStore{Dir: dir}}
 	ck, hit, err := st.LoadOrNew(sim.DefaultConfig(sim.QueueIdeal, 512), sweepWorkload, 1, sweepWarm)
 	if err != nil {
 		return 0, 0, false, err
 	}
-	for _, cfg := range sweepGrid() {
+	for _, cfg := range sweepGrid(noSkip) {
 		p, err := ck.Fork(cfg)
 		if err != nil {
 			return 0, 0, hit, err
@@ -236,13 +268,13 @@ func sweepStore(dir string) (insts, cycles int64, hit bool, err error) {
 
 // sweepCkptCold is the first process against a fresh store: pays the
 // warmup, serialises it, and sweeps. Fresh directory every iteration.
-func sweepCkptCold() (int64, int64, error) {
+func sweepCkptCold(noSkip bool) (int64, int64, error) {
 	dir, err := os.MkdirTemp("", "iqperf-ckpt-")
 	if err != nil {
 		return 0, 0, err
 	}
 	defer os.RemoveAll(dir)
-	insts, cycles, hit, err := sweepStore(dir)
+	insts, cycles, hit, err := sweepStore(dir, noSkip)
 	if err == nil && hit {
 		err = fmt.Errorf("perf: fresh checkpoint store reported a hit")
 	}
@@ -275,8 +307,11 @@ func measureSweep(name string, sweep func() (int64, int64, error)) Metrics {
 }
 
 // Measure runs every pinned workload and returns the baseline. It takes a
-// few seconds per workload (testing.Benchmark's usual settling).
-func Measure() Baseline {
+// few seconds per workload (testing.Benchmark's usual settling). noSkip
+// steps every cycle instead of skipping provably idle spans, for
+// before/after comparisons of the skipper itself; baselines are normally
+// captured with skipping on (the simulator's default).
+func Measure(noSkip bool) Baseline {
 	b := Baseline{
 		Schema:    Schema,
 		GoVersion: runtime.Version(),
@@ -299,18 +334,23 @@ func Measure() Baseline {
 		{"table1_ideal_swim", sim.DefaultConfig(sim.QueueIdeal, 512), "swim", 10_000, 100_000},
 		{"table1_segmented_gcc", sim.SegmentedConfig(512, 128, true, true), "gcc", 10_000, 100_000},
 	}
+	for i := range machines {
+		machines[i].cfg.NoSkip = noSkip
+	}
 	for _, m := range machines {
-		fn, cycles, insts, ipc := machineWorkload(m.cfg, m.workload, m.n, m.warm)
+		fn, run := machineWorkload(m.cfg, m.workload, m.n, m.warm)
 		r := testing.Benchmark(fn)
 		mt := fromResult(m.name, r)
-		mt.SimInstructions = *insts
-		mt.SimCycles = *cycles
-		mt.SimIPC = *ipc
+		mt.SimInstructions = run.insts
+		mt.SimCycles = run.cycles
+		mt.SimIPC = run.ipc
+		mt.SkippedCycles = run.skipped
+		mt.SkipWindows = run.windows
 		if secs := r.T.Seconds(); secs > 0 {
-			mt.SimMIPS = float64(*insts) * float64(r.N) / secs / 1e6
+			mt.SimMIPS = float64(run.insts) * float64(r.N) / secs / 1e6
 		}
-		if *cycles > 0 {
-			mt.NsPerSimCycle = mt.NsPerOp / float64(*cycles)
+		if run.cycles > 0 {
+			mt.NsPerSimCycle = mt.NsPerOp / float64(run.cycles)
 		}
 		b.Workloads = append(b.Workloads, mt)
 	}
@@ -319,8 +359,8 @@ func Measure() Baseline {
 	// same pinned grid swept cold and forked. Their ns/op ratio is the
 	// sweep wall-clock saving; their simulated totals must be identical.
 	b.Workloads = append(b.Workloads,
-		measureSweep("sweep6_swim_cold", sweepCold),
-		measureSweep("sweep6_swim_forked", sweepForked))
+		measureSweep("sweep6_swim_cold", func() (int64, int64, error) { return sweepCold(noSkip) }),
+		measureSweep("sweep6_swim_forked", func() (int64, int64, error) { return sweepForked(noSkip) }))
 
 	// The checkpoint-store pair measures the cross-process win: the same
 	// grid swept against a fresh store (warm + serialise + sweep) and a
@@ -330,15 +370,15 @@ func Measure() Baseline {
 	warmDir, werr := os.MkdirTemp("", "iqperf-ckpt-")
 	if werr == nil {
 		defer os.RemoveAll(warmDir)
-		_, _, _, werr = sweepStore(warmDir)
+		_, _, _, werr = sweepStore(warmDir, noSkip)
 	}
 	b.Workloads = append(b.Workloads,
-		measureSweep("sweep6_swim_ckpt_cold", sweepCkptCold),
+		measureSweep("sweep6_swim_ckpt_cold", func() (int64, int64, error) { return sweepCkptCold(noSkip) }),
 		measureSweep("sweep6_swim_ckpt_warm", func() (int64, int64, error) {
 			if werr != nil {
 				return 0, 0, werr
 			}
-			insts, cycles, hit, err := sweepStore(warmDir)
+			insts, cycles, hit, err := sweepStore(warmDir, noSkip)
 			if err == nil && !hit {
 				err = fmt.Errorf("perf: populated checkpoint store missed")
 			}

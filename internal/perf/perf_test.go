@@ -103,11 +103,11 @@ func TestSweepVariantsSimulateIdentically(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep pair in -short mode")
 	}
-	ci, cc, err := sweepCold()
+	ci, cc, err := sweepCold(false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fi, fc, err := sweepForked()
+	fi, fc, err := sweepForked(false)
 	if err != nil {
 		t.Fatal(err)
 	}

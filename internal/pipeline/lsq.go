@@ -38,7 +38,17 @@ type LSQ struct {
 
 	// cover indexes the bytes written by forwarding-eligible stores,
 	// keyed by 16-byte block; rebuilt each Tick (see the walk).
-	cover map[uint64]uint16
+	cover *coverTab
+	// coverEpoch identifies the coverage index's sources: it advances
+	// whenever the set of retired writes or resident stores changes, so a
+	// load's negative forwarding check (uop.FwdKey) can be reused while
+	// the epoch — and the count of stores contributing ahead of the load —
+	// is unchanged. Starts at 1 so a zero FwdKey never matches.
+	coverEpoch uint64
+	// wqRejGen memoises the head retired write bouncing off a full MSHR
+	// file, against the cache's acceptance generation (see uop.RejGen for
+	// the same idea on loads). Zero when the head write was not rejected.
+	wqRejGen uint64
 
 	forwards       uint64
 	mshrRejects    uint64
@@ -62,6 +72,7 @@ func NewLSQ(capacity int, l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, rdPort
 		rdPorts:       rdPorts,
 		wrPorts:       wrPorts,
 		missDetectLat: int64(l1d.Config().HitLatency),
+		coverEpoch:    1,
 	}
 	l.loadDoneFn = func(t int64, k mem.Kind, arg any) {
 		u := arg.(*uop.UOp)
@@ -94,6 +105,9 @@ func (l *LSQ) Add(u *uop.UOp) {
 // Remove deletes a committed memory instruction from the queue. Stores
 // move their pending write to the post-retirement queue via CommitStore.
 func (l *LSQ) Remove(u *uop.UOp) {
+	if u.IsStore() {
+		l.coverEpoch++ // a resident store leaving may shrink the coverage index
+	}
 	for i, e := range l.entries {
 		if e == u {
 			l.entries = append(l.entries[:i], l.entries[i+1:]...)
@@ -107,14 +121,97 @@ func (l *LSQ) Remove(u *uop.UOp) {
 func (l *LSQ) CommitStore(u *uop.UOp) {
 	l.Remove(u)
 	l.writeQ = append(l.writeQ, memWrite{addr: u.Inst.Addr, size: u.Inst.Size})
+	l.coverEpoch++
 }
 
 func overlap(a1 uint64, s1 uint8, a2 uint64, s2 uint8) bool {
 	return a1 < a2+uint64(s2) && a2 < a1+uint64(s1)
 }
 
+// coverEmpty marks a free slot in coverTab. A key is an address shifted
+// right by four, so no real block can equal it.
+const coverEmpty = ^uint64(0)
+
+// coverTab maps 16-byte block numbers to byte-coverage bitmasks. The
+// forwarding index is rebuilt from scratch every Tick, which makes a Go
+// map's hashing the dominant cost when many loads queue behind a full
+// MSHR file — so this is a flat open-addressed table instead: Fibonacci
+// hashing, linear probing, no tombstones (entries only accumulate
+// between resets). Slot layout is a pure function of the insertion
+// sequence, so two runs that execute the same Ticks end bit-identical.
+type coverTab struct {
+	keys  []uint64
+	vals  []uint16
+	used  int
+	shift uint // 64 - log2(len(keys)); the hash keeps the top bits
+}
+
+func newCoverTab() *coverTab {
+	t := &coverTab{keys: make([]uint64, 64), vals: make([]uint16, 64), shift: 58}
+	for i := range t.keys {
+		t.keys[i] = coverEmpty
+	}
+	return t
+}
+
+func (t *coverTab) reset() {
+	for i := range t.keys {
+		t.keys[i] = coverEmpty
+	}
+	t.used = 0
+}
+
+func (t *coverTab) or(b uint64, bits uint16) {
+	mask := uint64(len(t.keys) - 1)
+	for i := (b * 0x9E3779B97F4A7C15) >> t.shift; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case b:
+			t.vals[i] |= bits
+			return
+		case coverEmpty:
+			t.keys[i] = b
+			t.vals[i] = bits
+			t.used++
+			if t.used*4 > len(t.keys)*3 {
+				t.grow()
+			}
+			return
+		}
+	}
+}
+
+func (t *coverTab) get(b uint64) uint16 {
+	mask := uint64(len(t.keys) - 1)
+	for i := (b * 0x9E3779B97F4A7C15) >> t.shift; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case b:
+			return t.vals[i]
+		case coverEmpty:
+			return 0
+		}
+	}
+}
+
+func (t *coverTab) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.vals = make([]uint16, 2*len(oldVals))
+	t.shift--
+	t.used = 0
+	for i := range t.keys {
+		t.keys[i] = coverEmpty
+	}
+	// Reinsertion cannot re-trigger grow: used is at most 3/8 of the
+	// doubled capacity.
+	for i, k := range oldKeys {
+		if k != coverEmpty {
+			t.or(k, oldVals[i])
+		}
+	}
+}
+
 // addCover marks the bytes [addr, addr+size) in the block coverage index.
-func addCover(m map[uint64]uint16, addr uint64, size uint8) {
+func addCover(t *coverTab, addr uint64, size uint8) {
 	end := addr + uint64(size) - 1
 	for b := addr >> 4; b <= end>>4; b++ {
 		lo, hi := uint64(0), uint64(15)
@@ -124,16 +221,16 @@ func addCover(m map[uint64]uint16, addr uint64, size uint8) {
 		if b == end>>4 {
 			hi = end & 15
 		}
-		m[b] |= uint16(1)<<(hi+1) - uint16(1)<<lo
+		t.or(b, uint16(1)<<(hi+1)-uint16(1)<<lo)
 	}
 }
 
 // hitCover reports whether any byte of [addr, addr+size) is covered.
-func hitCover(m map[uint64]uint16, addr uint64, size uint8) bool {
+func hitCover(t *coverTab, addr uint64, size uint8) bool {
 	end := addr + uint64(size) - 1
 	for b := addr >> 4; b <= end>>4; b++ {
-		w, ok := m[b]
-		if !ok {
+		w := t.get(b)
+		if w == 0 {
 			continue
 		}
 		lo, hi := uint64(0), uint64(15)
@@ -157,11 +254,21 @@ func (l *LSQ) Tick(cycle int64) {
 	wr := 0
 	for wr < l.wrPorts && len(l.writeQ) > 0 {
 		w := l.writeQ[0]
+		if l.wqRejGen != 0 && l.wqRejGen == l.l1d.AcceptGen() {
+			// The head write bounced off a full MSHR file and the cache
+			// has neither accepted nor released anything since: the retry
+			// repeats verbatim, so only the cache-side reject counts.
+			l.l1d.SkipMSHRRejects(1)
+			break
+		}
 		if !l.l1d.Access(cycle, w.addr, true, func(int64, mem.Kind) {}) {
+			l.wqRejGen = l.l1d.AcceptGen()
 			break // MSHRs full: retry next cycle
 		}
+		l.wqRejGen = 0
 		l.writeQ = l.writeQ[1:]
 		l.storeWrites++
+		l.coverEpoch++ // the drained write leaves the coverage index
 		wr++
 	}
 
@@ -177,18 +284,23 @@ func (l *LSQ) Tick(cycle int64) {
 	rd := 0
 	unknownStore := false
 	if l.cover == nil {
-		l.cover = make(map[uint64]uint16, 64)
+		l.cover = newCoverTab()
 	}
-	clear(l.cover)
+	l.cover.reset()
 	for _, w := range l.writeQ {
 		addCover(l.cover, w.addr, w.size)
 	}
+	// contrib counts the stores added to the index so far: a load's view
+	// of the index is fully identified by (coverEpoch, contrib), which is
+	// the load's forwarding-memo key (uop.FwdKey).
+	contrib := uint64(0)
 	for _, u := range l.entries {
 		if u.IsStore() {
 			if u.EADone == uop.NotYet || u.EADone > cycle {
 				unknownStore = true
 			} else {
 				addCover(l.cover, u.Inst.Addr, u.Inst.Size)
+				contrib++
 				// A store retires once both its address and its data are
 				// known; the EA issued on the address alone.
 				if u.Complete == uop.NotYet && u.OperandReady(0, cycle) {
@@ -207,19 +319,36 @@ func (l *LSQ) Tick(cycle int64) {
 			l.blockedByStore++
 			continue
 		}
-		if hitCover(l.cover, u.Inst.Addr, u.Inst.Size) {
-			l.forwards++
-			u.MemKind = uop.MemHit
-			u.Complete = cycle + 1
-			l.eq.ScheduleArg(cycle+1, l.fwdDoneFn, u)
-			continue
+		// The index the load sees changes only when the epoch advances (a
+		// write or store entered or left) or a store ahead of it resolved
+		// its address; a memoised negative check stays negative until then.
+		fwdKey := l.coverEpoch<<16 | contrib
+		if u.FwdKey != fwdKey {
+			if hitCover(l.cover, u.Inst.Addr, u.Inst.Size) {
+				l.forwards++
+				u.MemKind = uop.MemHit
+				u.Complete = cycle + 1
+				l.eq.ScheduleArg(cycle+1, l.fwdDoneFn, u)
+				continue
+			}
+			u.FwdKey = fwdKey
 		}
 		if rd >= l.rdPorts {
 			continue
 		}
-		kind := l.l1d.Probe(u.Inst.Addr)
-		if !l.l1d.AccessArg(cycle, u.Inst.Addr, false, l.loadDoneFn, u) {
+		if u.RejGen != 0 && u.RejGen == l.l1d.AcceptGen() {
+			// The cache has neither accepted nor released anything since
+			// this load's last rejected attempt, so the attempt repeats
+			// verbatim: count the rejection on both sides without
+			// re-walking the tag array and MSHR file.
 			l.mshrRejects++
+			l.l1d.SkipMSHRRejects(1)
+			continue
+		}
+		kind, ok := l.l1d.AccessArgKind(cycle, u.Inst.Addr, false, l.loadDoneFn, u)
+		if !ok {
+			l.mshrRejects++
+			u.RejGen = l.l1d.AcceptGen()
 			continue
 		}
 		rd++
@@ -230,6 +359,80 @@ func (l *LSQ) Tick(cycle int64) {
 			// load's chain (§3.4).
 			l.eq.ScheduleArg(cycle+l.missDetectLat, l.missNotifFn, u)
 		}
+	}
+}
+
+// SkipClass classifies the queue for idle-cycle skipping. Called after
+// Tick(cycle) has run, it decides whether every Tick on the elided cycles
+// (cycle, cap) would be a pure counter replay, and if so which counters:
+// blocked loads stuck behind an older store with an unknown address
+// (blockedByStore ticks once per load per cycle) and loads whose access
+// would bounce off a full MSHR file every cycle (mshrRejects, plus the
+// cache-side reject counter). Any entry that could make real progress —
+// a drainable retired write, a store completion about to be stamped, or a
+// load whose access would actually be accepted — makes the queue
+// unskippable and SkipClass returns ok=false.
+//
+// The classification is only valid while nothing else moves: callers must
+// separately ensure no issue/dispatch/writeback happens in the window, so
+// EADone/Complete fields (future values always carry an event at exactly
+// that time, which bounds the window) and the store-coverage index are
+// frozen across it.
+func (l *LSQ) SkipClass(cycle int64) (ok bool, blocked, rejected int) {
+	if len(l.writeQ) > 0 {
+		return false, 0, 0 // retired writes could drain
+	}
+	full := l.l1d.OutstandingMisses() >= l.l1d.Config().MSHRs
+	gen := l.l1d.AcceptGen()
+	unknownStore := false
+	for _, u := range l.entries {
+		if u.IsStore() {
+			if u.EADone == uop.NotYet || u.EADone > cycle {
+				unknownStore = true
+			} else if u.Complete == uop.NotYet && u.OperandReady(0, cycle) {
+				// Tick would stamp the store's completion next cycle.
+				return false, 0, 0
+			}
+			continue
+		}
+		if !u.IsLoad() || u.Complete != uop.NotYet || u.MemKind != uop.MemNone {
+			continue // in flight or done: completion arrives by event
+		}
+		if u.EADone == uop.NotYet || u.EADone > cycle {
+			continue // address arrives with a future event
+		}
+		if unknownStore {
+			blocked++
+			continue
+		}
+		// EA-ready, unblocked, and still pending after this cycle's Tick:
+		// forwarding was already ruled out (the coverage index is frozen),
+		// so the only frozen outcome is an MSHR-file rejection, and it must
+		// stay one on every elided cycle. That requires a plain miss (a hit
+		// or an outstanding MSHR for the line would accept the access) with
+		// every MSHR busy; MSHRs cannot free mid-window (fills arrive by
+		// event). A live rejection memo is that exact condition, already
+		// established by this cycle's Tick.
+		if u.RejGen == 0 || u.RejGen != gen {
+			if !full || l.l1d.Probe(u.Inst.Addr) != mem.KindMiss {
+				return false, 0, 0
+			}
+		}
+		rejected++
+	}
+	return true, blocked, rejected
+}
+
+// SkipCycles replays the counter effects of n elided Ticks, using the
+// classification from SkipClass. The real reject path (AccessArg with a
+// full MSHR file) touches only the two reject counters, so the replay is
+// exact.
+func (l *LSQ) SkipCycles(n int64, blocked, rejected int) {
+	l.blockedByStore += uint64(blocked) * uint64(n)
+	if rejected > 0 {
+		r := uint64(rejected) * uint64(n)
+		l.mshrRejects += r
+		l.l1d.SkipMSHRRejects(r)
 	}
 }
 

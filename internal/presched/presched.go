@@ -275,6 +275,53 @@ func (q *PreschedIQ) BeginCycle(cycle int64) {
 	}
 }
 
+// Quiescent implements iq.Queue: every scheduling-array row is empty (so
+// row drains, camper recycling and dispatch placement cannot occur), no
+// buffered instruction is issue-ready, and no resolved producer is
+// pending re-check. Buffered campers parked on unresolved producers wake
+// via events the engine bounds the skip window by.
+func (q *PreschedIQ) Quiescent(cycle int64) bool {
+	for _, row := range q.lines {
+		if len(row) > 0 {
+			return false
+		}
+	}
+	for _, w := range q.readyW {
+		if w != 0 {
+			return false
+		}
+	}
+	for _, u := range q.unresolved {
+		if u.Complete != uop.NotYet {
+			return false
+		}
+	}
+	return true
+}
+
+// SkipCycles implements iq.Queue: replay BeginCycle's observable work on
+// a frozen queue — the empty head row still retires (the ring rotates and
+// base advances one row per cycle) and the statistics still sample.
+func (q *PreschedIQ) SkipCycles(from, to int64) {
+	every := int64(q.cfg.StatsEvery)
+	for x := from; x < to; x++ {
+		if q.base <= x {
+			// The head row is empty (Quiescent checked), so BeginCycle's
+			// drain reduces to exactly this retirement step.
+			q.lines[q.head] = nil
+			q.head = (q.head + 1) % q.cfg.Lines
+			q.base++
+		}
+		if every <= 1 || x%every == 0 {
+			// readyW is all-zero while frozen, so the store-discount scan
+			// in BeginCycle observes ready == 0.
+			q.stBufOcc.Observe(float64(len(q.buf)))
+			q.stBufUnready.Observe(float64(len(q.buf)))
+			q.stArrayOcc.Observe(float64(q.total - len(q.buf)))
+		}
+	}
+}
+
 // recycleCampers removes up to need unready instructions from the issue
 // buffer, youngest first, and reinserts them into the scheduling array at
 // their re-predicted ready rows (a fixed reinsertion distance when the

@@ -76,6 +76,14 @@ type Config struct {
 	// design is selected.
 	StatsSampleEvery int
 
+	// NoSkip disables event-driven idle-cycle skipping: every cycle is
+	// stepped individually even when the machine is provably frozen until
+	// the next scheduled event. Skipping is bit-identical by construction
+	// (the conformance tests compare full machine state and statistics
+	// with and without it), so this knob exists for cross-checking and
+	// debugging, not for correctness.
+	NoSkip bool
+
 	BranchPredictor bpred.Config
 	BTBEntries      int
 	BTBWays         int

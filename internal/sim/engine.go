@@ -37,6 +37,12 @@ type Engine struct {
 	inExec int // issued instructions whose results are outstanding
 	seq    int64
 
+	// Cycle-skipping telemetry (not part of the simulated machine state:
+	// excluded from the run's stats.Set so skip and no-skip runs stay
+	// byte-comparable).
+	skippedCycles int64 // cycles elided by event-driven skipping
+	skipWindows   int64 // skip windows taken
+
 	// Per-cycle and per-instruction callbacks, bound once at construction
 	// so the cycle loop schedules no fresh closures. tryIssueFn reads
 	// e.cycle, which equals the cycle being stepped throughout Step.
@@ -247,7 +253,7 @@ func (e *Engine) Step() {
 	e.q.BeginCycle(c)
 
 	// 4. Issue and begin execution.
-	e.issue(c)
+	issuedN := e.issue(c)
 
 	// 5. The LSQs start eligible cache accesses and drain retired stores.
 	for _, th := range e.ctxs {
@@ -255,16 +261,17 @@ func (e *Engine) Step() {
 	}
 
 	// 6. In-order dispatch from the front-end buffers, round-robin.
-	e.dispatch(c)
+	dispatchedN := e.dispatch(c)
 
 	// 7. Fetch: round-robin, one context per cycle at full width (RR.1.8).
-	//    A context stalled on a misprediction or I-cache miss yields the
-	//    port to the next one.
+	//    A context stalled on a misprediction or I-cache miss — or whose
+	//    trace has drained — yields the port to the next one; the port is
+	//    consumed only by a context that actually buffers instructions.
 	for i := 0; i < n; i++ {
 		th := e.ctxs[(int(c)+i)%n]
 		before := th.fe.BufLen()
 		th.fe.Fetch(c)
-		if th.fe.BufLen() != before || th.fe.Done() {
+		if th.fe.BufLen() != before {
 			break
 		}
 	}
@@ -280,9 +287,114 @@ func (e *Engine) Step() {
 
 	e.stRobOcc.Observe(float64(robLen))
 	e.cycle++
+
+	// 9. Event-driven idle-cycle skipping: when nothing moved this cycle
+	//    and nothing can move before the next scheduled event, advance the
+	//    clock in one jump, replaying the per-cycle statistics so the run
+	//    is bit-identical to stepping every cycle.
+	if !e.cfg.NoSkip && commits == 0 && issuedN == 0 && dispatchedN == 0 && e.inExec == 0 {
+		e.maybeSkip(c, robLen)
+	}
 }
 
-func (e *Engine) issue(c int64) {
+// maybeSkip elides the cycles (c, to) when the machine is provably frozen:
+// no in-flight execution, a non-committable ROB head in every context,
+// stalled-or-idle fetch, an LSQ whose only per-cycle effects are stall
+// counters, and a quiescent scheduler. The window is bounded by the next
+// event-queue entry and by the front-end buffers' next dispatch-eligible
+// instruction. Per-cycle observable state — sampled statistics, stall
+// counters, ring rotations — is replayed exactly, so a skipping run and a
+// cycle-by-cycle run produce byte-identical statistics and equal machine
+// state. Called with commits == issued == dispatched == 0 and inExec == 0,
+// after e.cycle has already advanced to c+1.
+func (e *Engine) maybeSkip(c int64, robLen int) {
+	// With no pending events nothing external can wake the machine — and
+	// the segmented design's deadlock detector must observe that state
+	// cycle by cycle, so never skip it. A non-empty event queue also
+	// keeps EndCycle's machineActive true on every elided cycle.
+	if e.hier.EQ.Len() == 0 {
+		return
+	}
+	to, _ := e.hier.EQ.NextTime()
+	// An instruction still traversing the front end becomes eligible for
+	// dispatch at its readyAt with no event attached: close the window
+	// there. (Heads already eligible are dispatch-blocked — replayed
+	// below; later buffer entries cannot overtake the head.)
+	for _, th := range e.ctxs {
+		if at, ok := th.fe.HeadReadyAt(); ok && at > c && at < to {
+			to = at
+		}
+	}
+	if to <= c+1 {
+		return
+	}
+
+	var feClsArr [4]int
+	var lsqBlockedArr, lsqRejectedArr [4]int
+	feCls := feClsArr[:0]
+	lsqBlocked := lsqBlockedArr[:0]
+	lsqRejected := lsqRejectedArr[:0]
+	anyReadyHead := false
+	for _, th := range e.ctxs {
+		// The commit stage must stay blocked: completion times stamped in
+		// the future always carry an event at that time, so only a head
+		// already complete (or completing exactly at the window edge)
+		// can retire inside the window.
+		if h := th.rob.Head(); h != nil && h.Complete != uop.NotYet && h.Complete < to {
+			return
+		}
+		fc := th.fe.SkipClass(c)
+		if fc == pipeline.FetchSkipNo {
+			return
+		}
+		ok, blocked, rejected := th.lsq.SkipClass(c)
+		if !ok {
+			return
+		}
+		feCls = append(feCls, fc)
+		lsqBlocked = append(lsqBlocked, blocked)
+		lsqRejected = append(lsqRejected, rejected)
+		if th.fe.NextReady(c) != nil {
+			anyReadyHead = true
+		}
+	}
+	if !e.q.Quiescent(c) {
+		return
+	}
+
+	span := to - c - 1
+	if anyReadyHead {
+		// A dispatch-blocked head retries every cycle; re-run the real
+		// dispatch stage so its stall counters (ROB/LSQ/IQ) replay
+		// exactly. The queue's own per-cycle replay must come first —
+		// BeginCycle precedes dispatch within a cycle and the array
+		// designs' ring rotation feeds the dispatch placement.
+		for x := c + 1; x < to; x++ {
+			e.q.SkipCycles(x, x+1)
+			if e.dispatch(x) != 0 {
+				panic("sim: dispatch progressed inside a skipped idle window")
+			}
+		}
+	} else {
+		e.q.SkipCycles(c+1, to)
+	}
+	for i, th := range e.ctxs {
+		th.fe.SkipCycles(feCls[i], span)
+		th.lsq.SkipCycles(span, lsqBlocked[i], lsqRejected[i])
+	}
+	e.stRobOcc.ObserveN(float64(robLen), span)
+	e.skippedCycles += span
+	e.skipWindows++
+	e.cycle = to
+}
+
+// SkippedCycles returns the cycles elided by event-driven skipping.
+func (e *Engine) SkippedCycles() int64 { return e.skippedCycles }
+
+// SkipWindows returns the number of skip windows taken.
+func (e *Engine) SkipWindows() int64 { return e.skipWindows }
+
+func (e *Engine) issue(c int64) int {
 	issued := e.q.Issue(c, e.cfg.IssueWidth, e.tryIssueFn)
 	e.stIssued.Add(uint64(len(issued)))
 	for _, u := range issued {
@@ -308,11 +420,13 @@ func (e *Engine) issue(c int64) {
 			e.hier.EQ.ScheduleArg(u.Complete, e.wbDoneFn, u)
 		}
 	}
+	return len(issued)
 }
 
 // dispatch shares the dispatch width round-robin: each context advances
-// in order; a context that stalls yields the remaining slots.
-func (e *Engine) dispatch(c int64) {
+// in order; a context that stalls yields the remaining slots. It returns
+// the number of instructions dispatched.
+func (e *Engine) dispatch(c int64) int {
 	n := len(e.ctxs)
 	width := e.cfg.DispatchWidth
 	for i := 0; i < n && width > 0; i++ {
@@ -352,6 +466,7 @@ func (e *Engine) dispatch(c int64) {
 			width--
 		}
 	}
+	return e.cfg.DispatchWidth - width
 }
 
 // Warm fast-forwards every context over the given per-context instruction

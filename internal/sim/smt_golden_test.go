@@ -3,6 +3,8 @@ package sim
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // The SMT golden numbers below were captured from the pre-unification
@@ -72,5 +74,46 @@ func TestSMTGoldenCycleCounts(t *testing.T) {
 				t.Errorf("per-thread = %v, want %v", res.PerThread, tc.perThread)
 			}
 		})
+	}
+}
+
+// TestSMTFetchPortAfterDrain pins the fetch-port hand-off when a context's
+// trace runs dry mid-run: a drained context must yield the shared fetch
+// port to the remaining ones instead of consuming it with a no-op fetch.
+// Thread 0 runs a short finite trace that drains early; thread 1 runs a
+// long one. (The rotation bug this pins against — breaking out of the
+// port scan on a Done() context — starved thread 1 of roughly half its
+// fetch cycles once thread 0 finished.)
+func TestSMTFetchPortAfterDrain(t *testing.T) {
+	short, err := trace.New("swim", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := trace.New("gcc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSMT(DefaultConfig(QueueIdeal, 256),
+		[]trace.Stream{trace.Limit(short, 1500), long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantCycles, wantInsts = 64919, 10000
+	wantPerThread := []int64{1500, 8500}
+	if res.Cycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", res.Cycles, wantCycles)
+	}
+	if res.Instructions != wantInsts {
+		t.Errorf("instructions = %d, want %d", res.Instructions, wantInsts)
+	}
+	if !reflect.DeepEqual(res.PerThread, wantPerThread) {
+		t.Errorf("per-thread = %v, want %v", res.PerThread, wantPerThread)
+	}
+	if res.PerThread[0] != 1500 {
+		t.Errorf("thread 0 committed %d, want its full 1500-instruction trace", res.PerThread[0])
 	}
 }
