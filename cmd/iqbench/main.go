@@ -12,6 +12,8 @@
 //	iqbench -experiment table2 -benchmarks swim,equake
 //	iqbench -perf-json BENCH_3.json # simulator performance baseline
 //	iqbench -perf-compare auto      # fresh capture vs newest checked-in baseline
+//	iqbench -smt-sweep              # SMT matrix: context sets × designs × 2/4 contexts
+//	iqbench -smt-sweep -benchmarks swim+twolf,mgrid+gcc
 //
 // Sweeps can reuse warmups across processes and spread a grid over
 // machines:
@@ -48,7 +50,8 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, or all")
+		exp         = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, smt, or all")
+		smtSweep    = flag.Bool("smt-sweep", false, "run the SMT scenario matrix (shorthand for -experiment smt): co-scheduled context sets × queue designs × 2/4 hardware contexts; -benchmarks takes comma-separated \"+\"-joined sets, e.g. swim+twolf,mgrid+gcc")
 		n           = flag.Int64("n", 0, "measured instructions per run (0 = default)")
 		warm        = flag.Int64("warm", 0, "warm-up instructions per run (0 = default)")
 		seed        = flag.Uint64("seed", 1, "workload seed")
@@ -124,6 +127,14 @@ func main() {
 			}
 		}
 		return
+	}
+
+	if *smtSweep {
+		if *exp != "all" && *exp != "smt" {
+			fmt.Fprintf(os.Stderr, "iqbench: -smt-sweep conflicts with -experiment %s\n", *exp)
+			os.Exit(2)
+		}
+		*exp = "smt"
 	}
 
 	o := experiments.DefaultOptions()
@@ -275,6 +286,20 @@ func main() {
 			return nil
 		})
 	}
+	// The SMT matrix goes beyond the paper's evaluation, so it runs only
+	// when asked for (-smt-sweep / -experiment smt), not under "all".
+	if *exp == "smt" {
+		any = true
+		run("smt", func() error {
+			r, err := experiments.SMT(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("SMT matrix (§7): aggregate IPC (per-context committed) per queue design and context count")
+			fmt.Print(r.Table().String())
+			return nil
+		})
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "iqbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -377,6 +402,13 @@ func renderMerged(sf *experiments.ShardFile) error {
 			return err
 		}
 		fmt.Println("Design ablations: IPC at 512 entries, 128 chains, HMP+LRP")
+		fmt.Print(r.Table().String())
+	case "smt":
+		r, err := experiments.SMTFrom(o, res)
+		if err != nil {
+			return err
+		}
+		fmt.Println("SMT matrix (§7): aggregate IPC (per-context committed) per queue design and context count")
 		fmt.Print(r.Table().String())
 	default:
 		return fmt.Errorf("no renderer for experiment %q", sf.Experiment)

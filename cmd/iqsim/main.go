@@ -68,7 +68,12 @@ func main() {
 		return
 	}
 
-	if workloads := strings.Split(*workload, ","); len(workloads) > 1 {
+	workloads, err := splitWorkloads(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iqsim:", err)
+		os.Exit(2)
+	}
+	if len(workloads) > 1 {
 		res, err := iqsim.RunSMT(cfg, workloads, *seed, *n, *warm)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iqsim:", err)
@@ -102,6 +107,21 @@ func main() {
 			}
 		}
 	}
+}
+
+// splitWorkloads parses a comma-separated -workload list, rejecting
+// empty elements (doubled or trailing commas) with the offending token's
+// 1-based position so `swim,,gcc` and `swim,` fail loudly instead of
+// silently running a phantom empty workload.
+func splitWorkloads(list string) ([]string, error) {
+	parts := strings.Split(list, ",")
+	for i, p := range parts {
+		if strings.TrimSpace(p) == "" {
+			return nil, fmt.Errorf("-workload list %q: empty workload at position %d", list, i+1)
+		}
+		parts[i] = strings.TrimSpace(p)
+	}
+	return parts, nil
 }
 
 func printConfig(cfg iqsim.Config) {

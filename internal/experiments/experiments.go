@@ -98,28 +98,46 @@ func (o Options) parallel() int {
 }
 
 // validateBenchmarks rejects unknown workload names up front, before any
-// simulation (or warmup) is spent on a doomed batch.
+// simulation (or warmup) is spent on a doomed batch. An entry may be a
+// single workload or a "+"-joined context set (the SMT grid); every
+// element must name a known benchmark.
 func (o Options) validateBenchmarks() error {
 	for _, w := range o.Benchmarks {
-		if _, ok := trace.Benchmarks[w]; !ok {
-			return fmt.Errorf("experiments: unknown benchmark %q (have %s)",
-				w, strings.Join(trace.Names(), ", "))
+		for _, e := range strings.Split(w, "+") {
+			if _, ok := trace.Benchmarks[e]; !ok {
+				return fmt.Errorf("experiments: unknown benchmark %q (have %s)",
+					e, strings.Join(trace.Names(), ", "))
+			}
 		}
 	}
 	return nil
 }
 
-// job is one simulation in a batch.
+// job is one simulation in a batch. wl names the ordered context set the
+// machine runs: a single workload, or several joined with "+" for an SMT
+// grid point (one hardware context per element).
 type job struct {
 	key string
 	cfg sim.Config
 	wl  string
 }
 
-// ckKey identifies the warmed state a job can fork from: the workload
-// plus everything the warmup touches — memory and branch-structure
-// geometry. Grid points that only vary the queue design, queue size,
-// widths or ROB/LSQ capacities share one checkpoint.
+// contexts converts a "+"-joined context set into the sim layer's
+// ordered specs: context i runs element i seeded with Seed+i (the same
+// convention as sim.RunSMT) and warms Warmup instructions.
+func (o Options) contexts(wl string) []sim.ContextSpec {
+	parts := strings.Split(wl, "+")
+	specs := make([]sim.ContextSpec, len(parts))
+	for i, p := range parts {
+		specs[i] = sim.ContextSpec{Workload: p, Seed: o.Seed + uint64(i), Warm: o.Warmup}
+	}
+	return specs
+}
+
+// ckKey identifies the warmed state a job can fork from: the ordered
+// context set plus everything the warmup touches — memory and
+// branch-structure geometry. Grid points that only vary the queue
+// design, queue size, widths or ROB/LSQ capacities share one checkpoint.
 type ckKey struct {
 	wl   string
 	mem  mem.HierarchyConfig
@@ -187,14 +205,15 @@ func (c *ckCache) get(j job) (*sim.Checkpoint, error) {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		specs := c.o.contexts(j.wl)
 		if c.st == nil {
-			e.ck, e.err = sim.NewCheckpoint(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
+			e.ck, e.err = sim.NewCheckpoint(j.cfg, specs...)
 			return
 		}
 		// Hit/miss/fallback accounting lives in the StoreClient; store
 		// failures never surface here — LoadOrNew degrades to a local
 		// warmup instead, so a broken store cannot kill the batch.
-		e.ck, _, e.err = c.st.LoadOrNew(j.cfg, j.wl, c.o.Seed, c.o.Warmup)
+		e.ck, _, e.err = c.st.LoadOrNew(j.cfg, specs...)
 	})
 	return e.ck, e.err
 }

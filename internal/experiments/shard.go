@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -18,11 +19,13 @@ import (
 // the shards also skip re-warming workloads another shard (or an earlier
 // sweep) has already warmed.
 
-// ShardSchema versions the shard-file JSON layout.
-const ShardSchema = 1
+// ShardSchema versions the shard-file JSON layout. Version 2 added the
+// Contexts header field (SMT grids); version-1 files are rejected by
+// MergeShards rather than merged with a silently missing field.
+const ShardSchema = 2
 
 // Experiments lists the shardable experiment grids by name.
-var Experiments = []string{"fig2", "table2", "fig3", "intext", "ablations"}
+var Experiments = []string{"fig2", "table2", "fig3", "intext", "ablations", "smt"}
 
 // experimentJobs returns the named experiment's full grid, sorted by key.
 func experimentJobs(experiment string, o Options) ([]job, error) {
@@ -38,11 +41,28 @@ func experimentJobs(experiment string, o Options) ([]job, error) {
 		jobs = inTextJobs(o)
 	case "ablations":
 		jobs = ablationJobs(o)
+	case "smt":
+		jobs = smtJobs(o)
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have fig2, table2, fig3, intext, ablations)", experiment)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			experiment, strings.Join(Experiments, ", "))
 	}
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].key < jobs[k].key })
 	return jobs, nil
+}
+
+// gridContexts returns the grid's maximum hardware-context count: 1 for
+// the single-threaded experiments, the largest "+"-joined set for the
+// SMT matrix. Recorded in the shard header so shards of grids with
+// different context shapes can never be merged.
+func gridContexts(jobs []job) int {
+	m := 1
+	for _, j := range jobs {
+		if n := strings.Count(j.wl, "+") + 1; n > m {
+			m = n
+		}
+	}
+	return m
 }
 
 // RecordedResult is one grid point's result in shard-file form:
@@ -72,7 +92,10 @@ type ShardFile struct {
 	Instructions int64
 	Warmup       int64
 	Seed         uint64
-	Benchmarks   []string `json:",omitempty"`
+	// Contexts is the grid's maximum hardware-context count (1 for the
+	// single-threaded experiments).
+	Contexts   int
+	Benchmarks []string `json:",omitempty"`
 	// Results maps job key -> result for this shard's grid positions.
 	Results map[string]*RecordedResult
 	// CkptStats records this shard's checkpoint-store counters (hits,
@@ -110,6 +133,7 @@ func RunShard(o Options, experiment string, shard, numShards int) (*ShardFile, e
 		Instructions: o.Instructions,
 		Warmup:       o.Warmup,
 		Seed:         o.Seed,
+		Contexts:     gridContexts(jobs),
 		Benchmarks:   o.Benchmarks,
 		Results:      make(map[string]*RecordedResult, len(mine)),
 	}
@@ -131,8 +155,8 @@ func RunShard(o Options, experiment string, shard, numShards int) (*ShardFile, e
 
 // header returns the fields every shard of one sweep must agree on.
 func (sf *ShardFile) header() string {
-	return fmt.Sprintf("%s n=%d warm=%d seed=%d shards=%d jobs=%d benches=%v",
-		sf.Experiment, sf.Instructions, sf.Warmup, sf.Seed, sf.NumShards, sf.TotalJobs, sf.Benchmarks)
+	return fmt.Sprintf("%s n=%d warm=%d seed=%d ctx=%d shards=%d jobs=%d benches=%v",
+		sf.Experiment, sf.Instructions, sf.Warmup, sf.Seed, sf.Contexts, sf.NumShards, sf.TotalJobs, sf.Benchmarks)
 }
 
 // Options reconstructs the run options a shard file was produced under
@@ -187,6 +211,7 @@ func MergeShards(files []*ShardFile) (*ShardFile, error) {
 		Instructions: first.Instructions,
 		Warmup:       first.Warmup,
 		Seed:         first.Seed,
+		Contexts:     first.Contexts,
 		Benchmarks:   first.Benchmarks,
 		Results:      make(map[string]*RecordedResult, first.TotalJobs),
 	}

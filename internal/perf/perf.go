@@ -223,7 +223,8 @@ func sweepCold(noSkip bool) (insts, cycles int64, err error) {
 // forked runs are bit-identical — while its wall-clock drops by roughly
 // the warmup fraction.
 func sweepForked(noSkip bool) (insts, cycles int64, err error) {
-	ck, err := sim.NewCheckpoint(sim.DefaultConfig(sim.QueueIdeal, 512), sweepWorkload, 1, sweepWarm)
+	ck, err := sim.NewCheckpoint(sim.DefaultConfig(sim.QueueIdeal, 512),
+		sim.ContextSpec{Workload: sweepWorkload, Seed: 1, Warm: sweepWarm})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -247,7 +248,8 @@ func sweepForked(noSkip bool) (insts, cycles int64, err error) {
 // (populated dir), then forks per point exactly like sweepForked.
 func sweepStore(dir string, noSkip bool) (insts, cycles int64, hit bool, err error) {
 	st := &sim.StoreClient{Store: &sim.DirStore{Dir: dir}}
-	ck, hit, err := st.LoadOrNew(sim.DefaultConfig(sim.QueueIdeal, 512), sweepWorkload, 1, sweepWarm)
+	ck, hit, err := st.LoadOrNew(sim.DefaultConfig(sim.QueueIdeal, 512),
+		sim.ContextSpec{Workload: sweepWorkload, Seed: 1, Warm: sweepWarm})
 	if err != nil {
 		return 0, 0, false, err
 	}
@@ -264,6 +266,67 @@ func sweepStore(dir string, noSkip bool) (insts, cycles int64, hit bool, err err
 		cycles += r.Cycles
 	}
 	return insts, cycles, hit, nil
+}
+
+// smtSweepSpecs is the pinned SMT context set of the smt_sweep pair: a
+// streaming workload co-scheduled with a pointer-chasing one, the
+// highest-contention pairing of the SMT grid.
+func smtSweepSpecs() []sim.ContextSpec {
+	return []sim.ContextSpec{
+		{Workload: "swim", Seed: 1, Warm: sweepWarm},
+		{Workload: "twolf", Seed: 2, Warm: sweepWarm},
+	}
+}
+
+// smtSweepGrid pins one machine per queue design for the SMT sweep pair.
+func smtSweepGrid(noSkip bool) []sim.Config {
+	grid := []sim.Config{
+		sim.DefaultConfig(sim.QueueIdeal, 256),
+		sim.SegmentedConfig(256, 64, true, true),
+		sim.PrescheduledConfig(320),
+		sim.FIFOConfig(256),
+		sim.DistanceConfig(320),
+	}
+	for i := range grid {
+		grid[i].NoSkip = noSkip
+	}
+	return grid
+}
+
+// smtSweepCold sweeps the SMT grid the pre-checkpoint way: every point
+// warms a cold two-context machine round-robin from scratch.
+func smtSweepCold(noSkip bool) (insts, cycles int64, err error) {
+	for _, cfg := range smtSweepGrid(noSkip) {
+		r, err := sim.RunContexts(cfg, smtSweepSpecs(), sweepN)
+		if err != nil {
+			return 0, 0, err
+		}
+		insts += r.Instructions
+		cycles += r.Cycles
+	}
+	return insts, cycles, nil
+}
+
+// smtSweepForked warms the two-context set once and forks the checkpoint
+// per design. Its simulated totals must equal smtSweepCold's.
+func smtSweepForked(noSkip bool) (insts, cycles int64, err error) {
+	ck, err := sim.NewCheckpoint(sim.DefaultConfig(sim.QueueIdeal, 256), smtSweepSpecs()...)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, cfg := range smtSweepGrid(noSkip) {
+		p, err := ck.Fork(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, err := p.Run(sweepN)
+		if err != nil {
+			return 0, 0, err
+		}
+		insts += r.Instructions
+		cycles += r.Cycles
+	}
+	return insts, cycles, nil
 }
 
 // sweepCkptCold is the first process against a fresh store: pays the
@@ -361,6 +424,13 @@ func Measure(noSkip bool) Baseline {
 	b.Workloads = append(b.Workloads,
 		measureSweep("sweep6_swim_cold", func() (int64, int64, error) { return sweepCold(noSkip) }),
 		measureSweep("sweep6_swim_forked", func() (int64, int64, error) { return sweepForked(noSkip) }))
+
+	// The SMT sweep pair measures the same win for a multi-context set:
+	// five queue designs forked from one two-context checkpoint versus five
+	// cold round-robin warmups. Simulated totals must be identical.
+	b.Workloads = append(b.Workloads,
+		measureSweep("smt_sweep5_swim_twolf_cold", func() (int64, int64, error) { return smtSweepCold(noSkip) }),
+		measureSweep("smt_sweep5_swim_twolf_forked", func() (int64, int64, error) { return smtSweepForked(noSkip) }))
 
 	// The checkpoint-store pair measures the cross-process win: the same
 	// grid swept against a fresh store (warm + serialise + sweep) and a

@@ -7,70 +7,109 @@ import (
 	"repro/internal/trace"
 )
 
-// Checkpoint captures a machine warmed over one workload's prefix: caches
-// installed, branch structures trained, and the instruction stream
-// advanced to the measurement point. Fork then stamps out fresh machines
-// that resume from that state — under the checkpoint's own configuration
-// or any other that keeps the same memory and branch-structure geometry —
-// so a sweep pays for the warmup once per (workload, seed) instead of
-// once per grid point.
+// ContextSpec names one hardware context of a checkpointed machine: a
+// workload, the seed its trace generator runs with, and the number of
+// instructions to fast-forward that context before measurement. A
+// single-threaded checkpoint is simply a one-element context set.
+type ContextSpec struct {
+	// Workload is the workload name (trace.New).
+	Workload string
+	// Seed seeds the workload's trace generator.
+	Seed uint64
+	// Warm is this context's fast-forward budget in instructions.
+	Warm int64
+}
+
+// Checkpoint captures a machine warmed over an ordered context set's
+// prefixes: caches installed, branch structures trained, and every
+// context's instruction stream advanced to the measurement point. Fork
+// then stamps out fresh machines that resume from that state — under the
+// checkpoint's own configuration or any other that keeps the same memory
+// and branch-structure geometry — so a sweep pays for the warmup once
+// per context set instead of once per grid point.
 //
-// The forked machines share a memoised view of the post-warmup stream
-// (trace.ForkSource); Fork is safe to call from concurrent goroutines,
-// and the forked machines may themselves run concurrently.
+// The forked machines share per-context memoised views of the
+// post-warmup streams (trace.ForkSource); Fork is safe to call from
+// concurrent goroutines, and the forked machines may themselves run
+// concurrently.
 type Checkpoint struct {
 	template *Engine
 
-	// seed and warm record how the template was produced; Save writes them
-	// so LoadCheckpoint can rebuild the generator and report provenance.
-	seed uint64
-	warm int64
+	// specs records how the template was produced, in context order; Save
+	// writes them so LoadCheckpoint can rebuild the generators and report
+	// provenance.
+	specs []ContextSpec
+
+	// frontiers are the per-context warm frontiers as absolute positions in
+	// each workload's original stream. The template's own cursors cannot
+	// supply these: a freshly warmed cursor sits at the absolute frontier,
+	// but a loaded one sits at zero (its rebuilt source's origin is the
+	// frontier itself), so Save records the absolute value here to stay
+	// construction-path independent.
+	frontiers []int64
 }
 
-// NewCheckpoint builds the named workload, fast-forwards it by warm
-// instructions (Engine.Warm: cache lines installed, branch structures
-// trained, no simulated time), and captures the result.
-func NewCheckpoint(cfg Config, workload string, seed uint64, warm int64) (*Checkpoint, error) {
-	base, err := trace.New(workload, seed)
+// NewCheckpoint builds one hardware context per spec, fast-forwards the
+// set round-robin over the per-context warm budgets (Engine.warmContexts:
+// cache lines installed, branch structures trained, no simulated time),
+// and captures the result. The round-robin interleaving matches a live
+// SMT run's fetch rotation, so forking the checkpoint is equivalent to
+// warming a cold machine over the same specs.
+func NewCheckpoint(cfg Config, specs ...ContextSpec) (*Checkpoint, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: checkpoint needs at least one context")
+	}
+	curs := make([]trace.Stream, len(specs))
+	srcs := make([]*trace.ForkSource, len(specs))
+	budgets := make([]int64, len(specs))
+	for i, sp := range specs {
+		base, err := trace.New(sp.Workload, sp.Seed)
+		if err != nil {
+			return nil, err
+		}
+		src := trace.NewForkSource(base)
+		cur := src.Fork()
+		// No cursor ever starts below the warm frontier, so live trimming
+		// can run from the first instruction: the warmup prefix is freed as
+		// it is consumed instead of accumulating until the explicit trim
+		// below.
+		src.TrimBefore(0)
+		srcs[i], curs[i] = src, cur
+		budgets[i] = sp.Warm
+	}
+	e, err := NewEngine(cfg, curs)
 	if err != nil {
 		return nil, err
 	}
-	src := trace.NewForkSource(base)
-	cur := src.Fork()
-	// No cursor ever starts below the warm frontier, so live trimming can
-	// run from the first instruction: the warmup prefix is freed as it is
-	// consumed instead of accumulating until the explicit trim below.
-	src.TrimBefore(0)
-	e, err := NewEngine(cfg, []trace.Stream{cur})
-	if err != nil {
-		return nil, err
-	}
-	if warm > 0 {
-		e.Warm([]trace.Stream{cur}, warm)
+	e.warmContexts(curs, budgets)
+	frontiers := make([]int64, len(specs))
+	for i, src := range srcs {
+		frontiers[i] = curs[i].(*trace.ForkCursor).Pos()
 		// The warmup prefix will never be replayed: every fork starts at
 		// the frontier.
-		src.TrimBefore(cur.Pos())
+		src.TrimBefore(frontiers[i])
 	}
-	return &Checkpoint{template: e, seed: seed, warm: warm}, nil
+	return &Checkpoint{template: e, specs: append([]ContextSpec(nil), specs...), frontiers: frontiers}, nil
 }
 
-// Workload returns the checkpointed workload's name.
-func (ck *Checkpoint) Workload() string { return ck.template.ctxs[0].workload }
+// Specs returns the ordered context set the checkpoint was built over.
+func (ck *Checkpoint) Specs() []ContextSpec {
+	return append([]ContextSpec(nil), ck.specs...)
+}
 
-// Seed returns the trace seed the checkpoint was warmed with.
-func (ck *Checkpoint) Seed() uint64 { return ck.seed }
+// Contexts returns the number of hardware contexts.
+func (ck *Checkpoint) Contexts() int { return len(ck.specs) }
 
-// Warm returns the warmup length the checkpoint was built with.
-func (ck *Checkpoint) Warm() int64 { return ck.warm }
-
-// Release declares the checkpoint done forking: its template cursor —
-// pinned at the warm frontier, which forces the fork source to keep the
-// whole measured suffix memoised for potential future forks — is
-// unregistered, so the source's live trimming can follow the machines
+// Release declares the checkpoint done forking: its template cursors —
+// pinned at the warm frontier, which forces each fork source to keep the
+// whole measured suffix memoised for potential future forks — are
+// unregistered, so the sources' live trimming can follow the machines
 // already forked instead. Fork must not be called after Release.
 func (ck *Checkpoint) Release() {
-	if c, ok := ck.template.ctxs[0].stream.(*trace.ForkCursor); ok {
-		c.Release()
+	for _, th := range ck.template.ctxs {
+		if c, ok := th.stream.(*trace.ForkCursor); ok {
+			c.Release()
+		}
 	}
 }
 
@@ -78,8 +117,10 @@ func (ck *Checkpoint) Release() {
 // which may vary the queue design, queue size, widths, and ROB/LSQ sizes
 // freely. The memory hierarchy and branch-structure geometry must match
 // the checkpoint's — the warmed state would be meaningless otherwise —
-// and a mismatch is an error. Concurrent forks are safe: the checkpoint
-// is only ever read.
+// and a mismatch is an error. Every context of the template is forked;
+// the n-context resource partitioning is re-derived from cfg exactly as
+// NewEngine would. Concurrent forks are safe: the checkpoint is only
+// ever read.
 func (ck *Checkpoint) Fork(cfg Config) (*Processor, error) {
 	t := ck.template
 	if err := cfg.Validate(); err != nil {
@@ -92,6 +133,7 @@ func (ck *Checkpoint) Fork(cfg Config) (*Processor, error) {
 		cfg.BTBEntries != t.cfg.BTBEntries || cfg.BTBWays != t.cfg.BTBWays {
 		return nil, fmt.Errorf("sim: fork changes branch-structure geometry; re-checkpoint instead")
 	}
+	robEach, lsqEach := cfg.forContexts(len(t.ctxs))
 	q, err := cfg.buildQueue()
 	if err != nil {
 		return nil, err
@@ -106,13 +148,14 @@ func (ck *Checkpoint) Fork(cfg Config) (*Processor, error) {
 		hier: hier,
 		fus:  pipeline.NewFUPool(cfg.FUPerClass),
 	}
-	tth := t.ctxs[0]
-	th, err := e.newContext(0, tth.stream.(trace.Forkable).Fork(),
-		cfg.ROBSize, cfg.LSQSize, tth.bp.Clone(), tth.btb.Clone())
-	if err != nil {
-		return nil, err
+	for _, tth := range t.ctxs {
+		th, err := e.newContext(tth.id, tth.stream.(trace.Forkable).Fork(),
+			robEach, lsqEach, tth.bp.Clone(), tth.btb.Clone())
+		if err != nil {
+			return nil, err
+		}
+		e.ctxs = append(e.ctxs, th)
 	}
-	e.ctxs = append(e.ctxs, th)
 	e.bindCallbacks()
 	return &Processor{Engine: e}, nil
 }

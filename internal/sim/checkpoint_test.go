@@ -30,7 +30,7 @@ func TestCheckpointForkMatchesColdRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ck, err := NewCheckpoint(cfg, workload, seed, warm)
+			ck, err := NewCheckpoint(cfg, ContextSpec{Workload: workload, Seed: seed, Warm: warm})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -60,7 +60,7 @@ func TestCheckpointForkMatchesColdRun(t *testing.T) {
 // other design must match that design's own cold run exactly.
 func TestCheckpointForkAcrossConfigs(t *testing.T) {
 	const workload, seed, n, warm = "gcc", 3, 6000, 40_000
-	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 256), workload, seed, warm)
+	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 256), ContextSpec{Workload: workload, Seed: seed, Warm: warm})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestCheckpointForkAcrossConfigs(t *testing.T) {
 // TestCheckpointGeometryValidation: forks that would invalidate the
 // warmed state are rejected.
 func TestCheckpointGeometryValidation(t *testing.T) {
-	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 128), "gcc", 1, 1000)
+	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 128), ContextSpec{Workload: "gcc", Seed: 1, Warm: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestCheckpointGeometryValidation(t *testing.T) {
 // independent twin; both runs produce identical results.
 func TestEngineCloneRunsIdentically(t *testing.T) {
 	cfg := SegmentedConfig(128, 64, false, false)
-	ck, err := NewCheckpoint(cfg, "vortex", 2, 30_000)
+	ck, err := NewCheckpoint(cfg, ContextSpec{Workload: "vortex", Seed: 2, Warm: 30_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestEngineCloneRunsIdentically(t *testing.T) {
 // cannot be cloned (scheduled events hold closures bound to the original).
 func TestEngineCloneRejectsInFlightState(t *testing.T) {
 	cfg := SegmentedConfig(128, 64, false, false)
-	ck, err := NewCheckpoint(cfg, "swim", 1, 10_000)
+	ck, err := NewCheckpoint(cfg, ContextSpec{Workload: "swim", Seed: 1, Warm: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,14 +6,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 )
 
-// The warm-checkpoint cache pays warmup once ever per (workload, seed,
-// warmup length, geometry) rather than once per process: a sweep asks
+// The warm-checkpoint cache pays warmup once ever per (context set,
+// geometry) rather than once per process: a sweep asks
 // the store before simulating a warmup, and uploads the result after.
 // The store is strictly an accelerator — every store failure degrades
 // to a local in-process warmup, so a sweep backed by a broken,
@@ -43,20 +44,27 @@ var ErrNotFound = errors.New("sim: checkpoint not in store")
 // pays the outage once, not once per grid point.
 var ErrStoreUnavailable = errors.New("sim: checkpoint store unavailable")
 
-// CheckpointKey names one checkpoint in a store:
+// CheckpointKey names one checkpoint in a store: the sanitized join of
+// the ordered context set, then the geometry fingerprint —
 //
-//	ck_<workload>_s<seed>_w<warm>_g<fingerprint>.ckpt
+//	ck_<workload>_s<seed>_w<warm>[_<workload>_s<seed>_w<warm>...]_g<fingerprint>.ckpt
 //
-// The workload component is escaped so a hostile or merely unusual
+// Each workload component is escaped so a hostile or merely unusual
 // name (path separators, "..", spaces) cannot leave the store
 // directory or collide with another key; plain [A-Za-z0-9_-] names —
-// every built-in benchmark — are unchanged, so stores written by
-// earlier builds keep hitting. The geometry fingerprint lets sweeps
+// every built-in benchmark — are unchanged, and a one-context set
+// reproduces the exact single-workload key of earlier builds, so
+// existing stores keep hitting. The geometry fingerprint lets sweeps
 // with different machine geometries share one store: a geometry change
 // misses instead of colliding.
-func CheckpointKey(cfg *Config, workload string, seed uint64, warm int64) string {
-	return fmt.Sprintf("ck_%s_s%d_w%d_g%016x.ckpt",
-		escapeKeyComponent(workload), seed, warm, cfg.GeometryFingerprint())
+func CheckpointKey(cfg *Config, specs []ContextSpec) string {
+	var b strings.Builder
+	b.WriteString("ck")
+	for _, sp := range specs {
+		fmt.Fprintf(&b, "_%s_s%d_w%d", escapeKeyComponent(sp.Workload), sp.Seed, sp.Warm)
+	}
+	fmt.Fprintf(&b, "_g%016x.ckpt", cfg.GeometryFingerprint())
+	return b.String()
 }
 
 // escapeKeyComponent %XX-escapes every byte outside [A-Za-z0-9_-]
@@ -261,17 +269,18 @@ func (sc *StoreClient) stats() *StoreStats {
 	return &discardStats
 }
 
-// LoadOrNew returns a warmed checkpoint for the key, loading it from
-// the store when a matching blob exists and building (then uploading)
-// it otherwise. hit reports whether the warmup was skipped. A stale,
-// corrupt, or mis-keyed blob is treated as a miss and rebuilt over; a
-// failing store is warned about once and never fails the sweep.
-func (sc *StoreClient) LoadOrNew(cfg Config, workload string, seed uint64, warm int64) (ck *Checkpoint, hit bool, err error) {
-	key := CheckpointKey(&cfg, workload, seed, warm)
+// LoadOrNew returns a warmed checkpoint for the context set, loading it
+// from the store when a matching blob exists and building (then
+// uploading) it otherwise. hit reports whether the warmup was skipped. A
+// stale, corrupt, old-version, or mis-keyed blob is treated as a miss
+// and rebuilt over; a failing store is warned about once and never fails
+// the sweep.
+func (sc *StoreClient) LoadOrNew(cfg Config, specs ...ContextSpec) (ck *Checkpoint, hit bool, err error) {
+	key := CheckpointKey(&cfg, specs)
 	data, gerr := sc.Store.Get(key)
 	switch {
 	case gerr == nil:
-		if ck := sc.decode(key, data, workload, seed, warm); ck != nil {
+		if ck := sc.decode(key, data, specs); ck != nil {
 			sc.stats().Hits.Add(1)
 			sc.stats().BytesRead.Add(int64(len(data)))
 			return ck, true, nil
@@ -286,14 +295,14 @@ func (sc *StoreClient) LoadOrNew(cfg Config, workload string, seed uint64, warm 
 		sc.warnGet.Do(func() {
 			fmt.Fprintf(os.Stderr, "ckpt-store: unavailable, falling back to local warmups: %v\n", gerr)
 		})
-		ck, err := NewCheckpoint(cfg, workload, seed, warm)
+		ck, err := NewCheckpoint(cfg, specs...)
 		if err != nil {
 			return nil, false, err
 		}
 		sc.stats().Fallbacks.Add(1)
 		return ck, false, nil
 	}
-	ck, err = NewCheckpoint(cfg, workload, seed, warm)
+	ck, err = NewCheckpoint(cfg, specs...)
 	if err != nil {
 		return nil, false, err
 	}
@@ -321,11 +330,10 @@ func (sc *StoreClient) LoadOrNew(cfg Config, workload string, seed uint64, warm 
 // checkpoint; contents win over the key, so a blob copied or renamed
 // across keys must not impersonate another warmup. Returns nil (after
 // a stderr note) for anything unusable.
-func (sc *StoreClient) decode(key string, data []byte, workload string, seed uint64, warm int64) *Checkpoint {
+func (sc *StoreClient) decode(key string, data []byte, specs []ContextSpec) *Checkpoint {
 	ck, err := LoadCheckpoint(bytes.NewReader(data))
-	if err == nil && (ck.Workload() != workload || ck.Seed() != seed || ck.Warm() != warm) {
-		err = fmt.Errorf("blob holds (%s, seed %d, warm %d), wanted (%s, seed %d, warm %d)",
-			ck.Workload(), ck.Seed(), ck.Warm(), workload, seed, warm)
+	if err == nil && !slices.Equal(ck.specs, specs) {
+		err = fmt.Errorf("blob holds context set %v, wanted %v", ck.specs, specs)
 	}
 	if err != nil {
 		// A present-but-unloadable blob is worth mentioning: it means the

@@ -37,7 +37,7 @@ func TestCheckpointKeySanitizesHostileNames(t *testing.T) {
 	}
 	seen := make(map[string]string)
 	for _, wl := range hostile {
-		key := CheckpointKey(&cfg, wl, 1, 1000)
+		key := key1(&cfg, wl, 1, 1000)
 		if !ValidStoreKey(key) {
 			t.Errorf("key for %q is not valid: %q", wl, key)
 		}
@@ -57,14 +57,14 @@ func TestCheckpointKeySanitizesHostileNames(t *testing.T) {
 	}
 	// Escaping must be injective: a pre-escaped name is distinct from
 	// the name it would escape to.
-	a := CheckpointKey(&cfg, "a/b", 1, 1000)
-	b := CheckpointKey(&cfg, "a%2Fb", 1, 1000)
+	a := key1(&cfg, "a/b", 1, 1000)
+	b := key1(&cfg, "a%2Fb", 1, 1000)
 	if a == b {
 		t.Errorf("escaped and literal names collide: %q", a)
 	}
 	// Plain benchmark names must be untouched, so stores written by
 	// older builds keep hitting.
-	if key := CheckpointKey(&cfg, "swim", 3, 500); !strings.HasPrefix(key, "ck_swim_s3_w500_g") {
+	if key := key1(&cfg, "swim", 3, 500); !strings.HasPrefix(key, "ck_swim_s3_w500_g") {
 		t.Errorf("plain workload name was rewritten: %q", key)
 	}
 }
@@ -101,6 +101,15 @@ const (
 
 func tstConfig() Config { return DefaultConfig(QueueIdeal, 128) }
 
+func tstSpec() ContextSpec {
+	return ContextSpec{Workload: tstWorkload, Seed: tstSeed, Warm: tstWarm}
+}
+
+// key1 builds a store key for a single-context set.
+func key1(cfg *Config, wl string, seed uint64, warm int64) string {
+	return CheckpointKey(cfg, []ContextSpec{{Workload: wl, Seed: seed, Warm: warm}})
+}
+
 // runFork forks ck under cfg and runs it, failing the test on error.
 func runFork(t *testing.T, ck *Checkpoint) *Result {
 	t.Helper()
@@ -127,7 +136,7 @@ func TestStorePutFailureNonFatal(t *testing.T) {
 	}
 	stats := &StoreStats{}
 	sc := &StoreClient{Store: &DirStore{Dir: filepath.Join(blocker, "store")}, Stats: stats}
-	ck, hit, err := sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm)
+	ck, hit, err := sc.LoadOrNew(tstConfig(), tstSpec())
 	if err != nil {
 		t.Fatalf("LoadOrNew failed on an unwritable store: %v", err)
 	}
@@ -157,7 +166,7 @@ func TestStoreClientFallsBackWhenUnreachable(t *testing.T) {
 	hs.Stats = stats
 	sc := &StoreClient{Store: hs, Stats: stats}
 
-	ck, hit, err := sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm)
+	ck, hit, err := sc.LoadOrNew(tstConfig(), tstSpec())
 	if err != nil {
 		t.Fatalf("LoadOrNew failed against an unreachable store: %v", err)
 	}
@@ -173,7 +182,7 @@ func TestStoreClientFallsBackWhenUnreachable(t *testing.T) {
 	// Degraded store: the next LoadOrNew must fail fast (no new
 	// retries) and still produce a usable checkpoint.
 	before := stats.GetRetries.Load()
-	ck2, _, err := sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm)
+	ck2, _, err := sc.LoadOrNew(tstConfig(), tstSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +194,7 @@ func TestStoreClientFallsBackWhenUnreachable(t *testing.T) {
 	}
 
 	// Fallback warmups must match a plain local warmup bit for bit.
-	plain, err := NewCheckpoint(tstConfig(), tstWorkload, tstSeed, tstWarm)
+	plain, err := NewCheckpoint(tstConfig(), tstSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +232,7 @@ func TestConcurrentLoadOrNewSameKey(t *testing.T) {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					cks[i], _, errs[i] = sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm)
+					cks[i], _, errs[i] = sc.LoadOrNew(tstConfig(), tstSpec())
 				}(i)
 			}
 			wg.Wait()
@@ -240,7 +249,7 @@ func TestConcurrentLoadOrNewSameKey(t *testing.T) {
 				}
 			}
 			// Whatever write won the race must now serve a hit.
-			if _, hit, err := sc.LoadOrNew(tstConfig(), tstWorkload, tstSeed, tstWarm); err != nil {
+			if _, hit, err := sc.LoadOrNew(tstConfig(), tstSpec()); err != nil {
 				t.Fatal(err)
 			} else if !hit {
 				t.Fatal("store missed after concurrent writers finished")
@@ -436,11 +445,11 @@ func TestHTTPStoreCorruptBlobRebuilt(t *testing.T) {
 	sc := &StoreClient{Store: hs, Stats: stats}
 
 	cfg := tstConfig()
-	key := CheckpointKey(&cfg, tstWorkload, tstSeed, tstWarm)
+	key := key1(&cfg, tstWorkload, tstSeed, tstWarm)
 	if err := hs.Put(key, []byte("garbage")); err != nil {
 		t.Fatal(err)
 	}
-	ck, hit, err := sc.LoadOrNew(cfg, tstWorkload, tstSeed, tstWarm)
+	ck, hit, err := sc.LoadOrNew(cfg, tstSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +460,7 @@ func TestHTTPStoreCorruptBlobRebuilt(t *testing.T) {
 		t.Fatalf("rebuilt checkpoint unusable: %d instructions", r.Instructions)
 	}
 	// The rebuild replaced the garbage; now it hits.
-	if _, hit, err := sc.LoadOrNew(cfg, tstWorkload, tstSeed, tstWarm); err != nil {
+	if _, hit, err := sc.LoadOrNew(cfg, tstSpec()); err != nil {
 		t.Fatal(err)
 	} else if !hit {
 		t.Fatal("store missed after the corrupt blob was replaced")
@@ -464,7 +473,7 @@ func TestHTTPStoreCorruptBlobRebuilt(t *testing.T) {
 // TestCheckpointKeyExample documents the on-the-wire key shape.
 func TestCheckpointKeyExample(t *testing.T) {
 	cfg := DefaultConfig(QueueIdeal, 128)
-	key := CheckpointKey(&cfg, "swim", 1, 300000)
+	key := key1(&cfg, "swim", 1, 300000)
 	want := fmt.Sprintf("ck_swim_s1_w300000_g%016x.ckpt", cfg.GeometryFingerprint())
 	if key != want {
 		t.Fatalf("key = %q, want %q", key, want)

@@ -174,6 +174,45 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// forContexts adjusts the configuration in place for an n-context
+// machine and returns the per-context ROB and LSQ capacities. With one
+// context it is a no-op returning the full configured sizes; with
+// several, the queue design's per-register tables are replicated per
+// context and the ROB/LSQ capacities divided evenly (floors of 8 and 4).
+// Every construction path — NewEngine, Checkpoint.Fork, LoadCheckpoint —
+// goes through here, so an n-context machine is built identically no
+// matter how it came to exist.
+func (c *Config) forContexts(n int) (robEach, lsqEach int) {
+	robEach, lsqEach = c.ROBSize, c.LSQSize
+	if n <= 1 {
+		return robEach, lsqEach
+	}
+	switch c.Queue {
+	case QueueSegmented:
+		if c.Segmented.Segments == 0 {
+			c.Segmented = core.DefaultConfig(c.QueueSize, 0)
+		}
+		c.Segmented.Threads = n
+	case QueuePrescheduled:
+		if c.Presched.Lines == 0 {
+			c.Presched = presched.DefaultConfig(c.QueueSize)
+		}
+		c.Presched.Threads = n
+	case QueueDistance:
+		if c.Distance.Lines == 0 {
+			c.Distance = distiq.DefaultConfig(c.QueueSize)
+		}
+		c.Distance.Threads = n
+	}
+	if robEach = c.ROBSize / n; robEach < 8 {
+		robEach = 8
+	}
+	if lsqEach = c.LSQSize / n; lsqEach < 4 {
+		lsqEach = 4
+	}
+	return robEach, lsqEach
+}
+
 // buildQueue constructs the configured IQ design.
 func (c Config) buildQueue() (iq.Queue, error) {
 	switch c.Queue {

@@ -4,13 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/bpred"
-	"repro/internal/core"
-	"repro/internal/distiq"
 	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
-	"repro/internal/presched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/uop"
@@ -92,35 +89,7 @@ func NewEngine(cfg Config, streams []trace.Stream) (*Engine, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sim: SMT needs at least one stream")
 	}
-	robEach, lsqEach := cfg.ROBSize, cfg.LSQSize
-	if n > 1 {
-		// Replicate per-thread tables inside the queue designs.
-		switch cfg.Queue {
-		case QueueSegmented:
-			if cfg.Segmented.Segments == 0 {
-				cfg.Segmented = core.DefaultConfig(cfg.QueueSize, 0)
-			}
-			cfg.Segmented.Threads = n
-		case QueuePrescheduled:
-			if cfg.Presched.Lines == 0 {
-				cfg.Presched = presched.DefaultConfig(cfg.QueueSize)
-			}
-			cfg.Presched.Threads = n
-		case QueueDistance:
-			if cfg.Distance.Lines == 0 {
-				cfg.Distance = distiq.DefaultConfig(cfg.QueueSize)
-			}
-			cfg.Distance.Threads = n
-		}
-		robEach = cfg.ROBSize / n
-		if robEach < 8 {
-			robEach = 8
-		}
-		lsqEach = cfg.LSQSize / n
-		if lsqEach < 4 {
-			lsqEach = 4
-		}
-	}
+	robEach, lsqEach := cfg.forContexts(n)
 	q, err := cfg.buildQueue()
 	if err != nil {
 		return nil, err
@@ -469,27 +438,59 @@ func (e *Engine) dispatch(c int64) int {
 	return e.cfg.DispatchWidth - width
 }
 
-// Warm fast-forwards every context over the given per-context instruction
-// counts: cache lines are installed and the branch structures trained,
-// without advancing simulated time. It stands in for the paper's
-// 20-billion-instruction fast-forward to a checkpoint. The streams must
-// be the same objects the engine was built over.
+// Warm fast-forwards every context by n instructions: cache lines are
+// installed and the branch structures trained, without advancing
+// simulated time. It stands in for the paper's 20-billion-instruction
+// fast-forward to a checkpoint. The streams must be the same objects the
+// engine was built over. With several contexts the streams are consumed
+// round-robin — one instruction per context per turn, the same
+// interleaving a live SMT fetch rotation produces — so the shared cache
+// and predictor state a checkpoint captures matches what a cold SMT run
+// warms into.
 func (e *Engine) Warm(streams []trace.Stream, n int64) {
-	for ti, s := range streams {
-		if ti >= len(e.ctxs) {
-			break
+	budgets := make([]int64, len(streams))
+	for i := range budgets {
+		budgets[i] = n
+	}
+	e.warmContexts(streams, budgets)
+}
+
+// warmContexts is Warm with a per-context instruction budget. Contexts
+// take turns in id order, one instruction each; a context whose budget is
+// spent (or whose trace drains) drops out of the rotation and the rest
+// continue.
+func (e *Engine) warmContexts(streams []trace.Stream, budgets []int64) {
+	n := len(streams)
+	if len(e.ctxs) < n {
+		n = len(e.ctxs)
+	}
+	rem := make([]int64, n)
+	active := 0
+	for i := 0; i < n; i++ {
+		rem[i] = budgets[i]
+		if rem[i] > 0 {
+			active++
 		}
-		th := e.ctxs[ti]
-		for i := int64(0); i < n; i++ {
-			in, ok := s.Next()
+	}
+	for active > 0 {
+		for i := 0; i < n; i++ {
+			if rem[i] <= 0 {
+				continue
+			}
+			in, ok := streams[i].Next()
 			if !ok {
-				break
+				rem[i] = 0
+				active--
+				continue
 			}
 			e.hier.WarmInst(in.PC)
 			if in.Class.IsMem() {
 				e.hier.WarmData(in.Addr, in.Class == isa.Store)
 			}
-			th.fe.Train(in)
+			e.ctxs[i].fe.Train(in)
+			if rem[i]--; rem[i] == 0 {
+				active--
+			}
 		}
 	}
 }

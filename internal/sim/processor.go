@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -61,7 +63,6 @@ func (p *Processor) Run(maxInstructions int64) (*Result, error) {
 
 func (p *Processor) result() *Result {
 	e := p.Engine
-	th := e.ctxs[0]
 	s := stats.NewSet()
 	committed := e.Committed()
 	cycles := e.cycle
@@ -78,18 +79,32 @@ func (p *Processor) result() *Result {
 	s.Put("dispatch_stall_lsq", float64(e.stDispStallLSQ.Value()))
 	s.Put("dispatch_stall_iq", float64(e.stDispStallIQ.Value()))
 
-	s.Put("fetched", float64(th.fe.Fetched()))
-	s.Put("branches", float64(th.fe.Branches()))
-	s.Put("branch_mispredicts", float64(th.fe.Mispredicts()))
-	s.Put("branch_mispredict_rate", stats.Ratio(th.fe.Mispredicts(), th.fe.Branches()))
-	s.Put("btb_misses", float64(th.fe.BTBMisses()))
-	s.Put("fetch_stall_branch", float64(th.fe.BranchStallCycles()))
-	s.Put("fetch_stall_icache", float64(th.fe.ICacheStallCycles()))
+	// Per-context front-end and LSQ statistics. A single-context machine
+	// keeps the historical unprefixed names; a multi-context one reports
+	// every context separately under thread<i>_, plus its committed count.
+	workload := e.ctxs[0].workload
+	for _, th := range e.ctxs {
+		pfx := ""
+		if len(e.ctxs) > 1 {
+			pfx = fmt.Sprintf("thread%d_", th.id)
+			s.Put(pfx+"committed", float64(th.committed))
+			if th != e.ctxs[0] {
+				workload += "+" + th.workload
+			}
+		}
+		s.Put(pfx+"fetched", float64(th.fe.Fetched()))
+		s.Put(pfx+"branches", float64(th.fe.Branches()))
+		s.Put(pfx+"branch_mispredicts", float64(th.fe.Mispredicts()))
+		s.Put(pfx+"branch_mispredict_rate", stats.Ratio(th.fe.Mispredicts(), th.fe.Branches()))
+		s.Put(pfx+"btb_misses", float64(th.fe.BTBMisses()))
+		s.Put(pfx+"fetch_stall_branch", float64(th.fe.BranchStallCycles()))
+		s.Put(pfx+"fetch_stall_icache", float64(th.fe.ICacheStallCycles()))
 
-	s.Put("lsq_forwards", float64(th.lsq.Forwards()))
-	s.Put("lsq_mshr_rejects", float64(th.lsq.MSHRRejects()))
-	s.Put("lsq_loads", float64(th.lsq.LoadsIssued()))
-	s.Put("lsq_store_writes", float64(th.lsq.StoreWrites()))
+		s.Put(pfx+"lsq_forwards", float64(th.lsq.Forwards()))
+		s.Put(pfx+"lsq_mshr_rejects", float64(th.lsq.MSHRRejects()))
+		s.Put(pfx+"lsq_loads", float64(th.lsq.LoadsIssued()))
+		s.Put(pfx+"lsq_store_writes", float64(th.lsq.StoreWrites()))
+	}
 	s.Put("fu_structural_stalls", float64(e.fus.StructuralStalls()))
 
 	d := e.hier.L1D.Stats()
@@ -104,7 +119,7 @@ func (p *Processor) result() *Result {
 	e.q.CollectStats(s)
 
 	return &Result{
-		Workload:     th.workload,
+		Workload:     workload,
 		QueueName:    e.q.Name(),
 		Instructions: committed,
 		Cycles:       e.cycle,
@@ -125,16 +140,34 @@ func RunWorkload(cfg Config, workload string, seed uint64, n int64) (*Result, er
 // lines and train the branch structures (Processor.Warm); measurement then
 // continues from that point, as with the paper's checkpoints.
 func RunWorkloadWarm(cfg Config, workload string, seed uint64, n, warm int64) (*Result, error) {
-	s, err := trace.New(workload, seed)
+	return RunContexts(cfg, []ContextSpec{{Workload: workload, Seed: seed, Warm: warm}}, n)
+}
+
+// RunContexts is the cold-machine reference path for a context set: one
+// hardware context per spec, each stream built from its (workload, seed)
+// and fast-forwarded round-robin over the per-context warm budgets, then
+// n total committed instructions simulated. It warms exactly as
+// NewCheckpoint does, so a machine forked from a checkpoint over the
+// same specs behaves identically to this cold run.
+func RunContexts(cfg Config, specs []ContextSpec, n int64) (*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: run needs at least one context")
+	}
+	streams := make([]trace.Stream, len(specs))
+	budgets := make([]int64, len(specs))
+	for i, sp := range specs {
+		s, err := trace.New(sp.Workload, sp.Seed)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = s
+		budgets[i] = sp.Warm
+	}
+	e, err := NewEngine(cfg, streams)
 	if err != nil {
 		return nil, err
 	}
-	p, err := New(cfg, s)
-	if err != nil {
-		return nil, err
-	}
-	if warm > 0 {
-		p.Warm(s, warm) // consumes the stream prefix the FE would have fetched
-	}
+	e.warmContexts(streams, budgets)
+	p := &Processor{Engine: e}
 	return p.Run(n)
 }

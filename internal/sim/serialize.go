@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -20,36 +21,50 @@ import (
 //	magic     8 bytes  "IQCKPT1\n"
 //	version   u32      CheckpointVersion
 //	geometry  u64      GeometryFingerprint of the template configuration
+//	ctxset    u64      ContextSetFingerprint of the ordered context set
 //	config    bytes    length-prefixed JSON of the full sim.Config
-//	workload  string
-//	seed      u64
-//	warm      i64      requested warmup length
-//	pos       i64      warm frontier: instructions actually consumed
-//	predictor           bpred.Predictor section (self-describing)
-//	btb                 bpred.BTB section (self-describing)
-//	hierarchy           mem.Hierarchy section (per-cache, name-checked)
-//	memo      i64 + n×inst  ForkSource suffix beyond the frontier
+//	nctx      u32      context count
+//	per context, in order:
+//	  workload  string
+//	  seed      u64
+//	  warm      i64    requested warmup length for this context
+//	  pos       i64    warm frontier: instructions actually consumed
+//	  predictor        bpred.Predictor section (self-describing)
+//	  btb              bpred.BTB section (self-describing)
+//	  memo      i64 + n×inst  ForkSource suffix beyond the frontier
+//	hierarchy           mem.Hierarchy section (shared; per-cache, name-checked)
 //	trailer   u32      ckptTrailer, then EOF
 //
 // A checkpoint template is an unstepped machine: warmed caches, trained
-// branch structures, stream at the frontier, simulated time still zero.
-// Save enforces that shape, so the file never carries in-flight pipeline
-// state and Load rebuilds the pipeline empty, exactly as NewCheckpoint
-// leaves it. The geometry fingerprint is duplicated from the config so a
-// store can match files without parsing JSON, and Load cross-checks the
-// two against each other.
+// branch structures, every context's stream at its frontier, simulated
+// time still zero. Save enforces that shape, so the file never carries
+// in-flight pipeline state and Load rebuilds the pipeline empty, exactly
+// as NewCheckpoint leaves it. The geometry fingerprint is duplicated from
+// the config so a store can match files without parsing JSON, and Load
+// cross-checks the two against each other; the context-set fingerprint
+// likewise pins the ordered (workload, seed, warm) set against the
+// per-context sections that follow.
+//
+// Version 1 of the format carried exactly one context (workload/seed/warm
+// directly in the header, no context-set fingerprint); this build rejects
+// v1 files with a version error rather than guessing at their layout.
 
 // CheckpointVersion is the current checkpoint file format version.
-const CheckpointVersion = 1
+const CheckpointVersion = 2
 
 const ckptTrailer uint32 = 0x54504b43 // "CKPT"
 
 var ckptMagic = [8]byte{'I', 'Q', 'C', 'K', 'P', 'T', '1', '\n'}
 
-// maxMemoSuffix bounds the carried memo suffix on decode. A template's
+// maxMemoSuffix bounds each carried memo suffix on decode. A template's
 // suffix only grows while forked runs outpace it mid-sweep; at save time
 // it is almost always empty, so anything enormous is corruption.
 const maxMemoSuffix = 1 << 24
+
+// maxCheckpointContexts bounds the decoded context count. The SMT grid
+// tops out at a handful of hardware contexts; anything larger is
+// corruption, not a machine we can build.
+const maxCheckpointContexts = 64
 
 // GeometryFingerprint hashes the parts of the configuration a checkpoint's
 // warmed state depends on: the memory hierarchy and the branch-structure
@@ -71,22 +86,42 @@ func (cfg *Config) GeometryFingerprint() uint64 {
 	return h.Sum64()
 }
 
+// ContextSetFingerprint hashes an ordered context set: every workload
+// name (length-prefixed, so the encoding is injective), seed and warm
+// budget, in context order. Reordering the same contexts changes the
+// fingerprint — the interleaved warmup makes order part of the machine
+// state.
+func ContextSetFingerprint(specs []ContextSpec) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, sp := range specs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(sp.Workload)))
+		h.Write(buf[:])
+		h.Write([]byte(sp.Workload))
+		binary.LittleEndian.PutUint64(buf[:], sp.Seed)
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(sp.Warm))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
 // Save writes the checkpoint to w in the versioned binary format above.
-// The template must be in canonical checkpoint shape: a single-context
-// machine that has been warmed but never stepped.
+// The template must be in canonical checkpoint shape: warmed but never
+// stepped, every context's stream a fork cursor at its frontier.
 func (ck *Checkpoint) Save(w io.Writer) error {
 	t := ck.template
-	if len(t.ctxs) != 1 {
-		return fmt.Errorf("sim: save supports single-context checkpoints, machine has %d", len(t.ctxs))
-	}
 	if t.cycle != 0 || t.seq != 0 || t.inExec != 0 {
 		return fmt.Errorf("sim: save requires an unstepped template (cycle %d, seq %d, inExec %d)",
 			t.cycle, t.seq, t.inExec)
 	}
-	tth := t.ctxs[0]
-	cur, ok := tth.stream.(*trace.ForkCursor)
-	if !ok {
-		return fmt.Errorf("sim: save requires a fork-cursor stream, have %T", tth.stream)
+	curs := make([]*trace.ForkCursor, len(t.ctxs))
+	for i, th := range t.ctxs {
+		cur, ok := th.stream.(*trace.ForkCursor)
+		if !ok {
+			return fmt.Errorf("sim: save requires fork-cursor streams, context %d has %T", i, th.stream)
+		}
+		curs[i] = cur
 	}
 	cfgJSON, err := json.Marshal(t.cfg)
 	if err != nil {
@@ -98,21 +133,28 @@ func (ck *Checkpoint) Save(w io.Writer) error {
 	cw.Raw(ckptMagic[:])
 	cw.U32(CheckpointVersion)
 	cw.U64(t.cfg.GeometryFingerprint())
+	cw.U64(ContextSetFingerprint(ck.specs))
 	cw.Bytes(cfgJSON)
-	cw.String(tth.workload)
-	cw.U64(ck.seed)
-	cw.I64(ck.warm)
-	pos := cur.Pos()
-	cw.I64(pos)
-	tth.bp.EncodeTo(cw)
-	tth.btb.EncodeTo(cw)
+	cw.U32(uint32(len(t.ctxs)))
+	for i, th := range t.ctxs {
+		sp := ck.specs[i]
+		cw.String(sp.Workload)
+		cw.U64(sp.Seed)
+		cw.I64(sp.Warm)
+		cw.I64(ck.frontiers[i])
+		th.bp.EncodeTo(cw)
+		th.btb.EncodeTo(cw)
+		// The cursor's own (source-relative) position is the frontier in
+		// the source's coordinates whatever the construction path, so the
+		// suffix read starts there.
+		memo := curs[i].Source().MemoSuffix(curs[i].Pos())
+		cw.I64(int64(len(memo)))
+		for j := range memo {
+			trace.EncodeInst(cw, &memo[j])
+		}
+	}
 	if err := t.hier.EncodeTo(cw); err != nil {
 		return err
-	}
-	memo := cur.Source().MemoSuffix(pos)
-	cw.I64(int64(len(memo)))
-	for i := range memo {
-		trace.EncodeInst(cw, &memo[i])
 	}
 	cw.U32(ckptTrailer)
 	if err := cw.Err(); err != nil {
@@ -123,10 +165,10 @@ func (ck *Checkpoint) Save(w io.Writer) error {
 
 // LoadCheckpoint reads a checkpoint written by Save and rebuilds the
 // warmed template: trained branch structures and cache contents come from
-// the file, the instruction stream is regenerated from (workload, seed)
-// and fast-forwarded to the recorded frontier, and the pipeline starts
-// empty at cycle zero. The result forks exactly like the checkpoint that
-// was saved.
+// the file, each context's instruction stream is regenerated from its
+// (workload, seed) and fast-forwarded to the recorded frontier, and the
+// pipeline starts empty at cycle zero. The result forks exactly like the
+// checkpoint that was saved.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	br := bufio.NewReader(r)
 	cr := codec.NewReader(br)
@@ -142,6 +184,7 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("sim: checkpoint format version %d, this build reads %d", v, CheckpointVersion)
 	}
 	fp := cr.U64()
+	ctxFP := cr.U64()
 	cfgJSON := cr.Bytes(1 << 20)
 	if err := cr.Err(); err != nil {
 		return nil, fmt.Errorf("sim: reading checkpoint header: %w", err)
@@ -157,49 +200,68 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("sim: checkpoint geometry fingerprint %016x does not match its config (%016x)", fp, got)
 	}
 
-	workload := cr.String(256)
-	seed := cr.U64()
-	warm := cr.I64()
-	pos := cr.I64()
+	nctx := cr.U32()
 	if err := cr.Err(); err != nil {
 		return nil, err
 	}
-	if pos < 0 || warm < 0 || pos > warm {
-		return nil, fmt.Errorf("sim: checkpoint frontier %d inconsistent with warmup %d", pos, warm)
+	if nctx < 1 || nctx > maxCheckpointContexts {
+		return nil, fmt.Errorf("sim: checkpoint context count %d implausible", nctx)
 	}
-
-	bp, err := bpred.DecodePredictor(cr)
-	if err != nil {
-		return nil, err
+	specs := make([]ContextSpec, nctx)
+	poss := make([]int64, nctx)
+	bps := make([]*bpred.Predictor, nctx)
+	btbs := make([]*bpred.BTB, nctx)
+	memos := make([][]isa.Inst, nctx)
+	for i := range specs {
+		specs[i].Workload = cr.String(256)
+		specs[i].Seed = cr.U64()
+		specs[i].Warm = cr.I64()
+		poss[i] = cr.I64()
+		if err := cr.Err(); err != nil {
+			return nil, err
+		}
+		if poss[i] < 0 || specs[i].Warm < 0 || poss[i] > specs[i].Warm {
+			return nil, fmt.Errorf("sim: checkpoint context %d frontier %d inconsistent with warmup %d",
+				i, poss[i], specs[i].Warm)
+		}
+		bp, err := bpred.DecodePredictor(cr)
+		if err != nil {
+			return nil, err
+		}
+		if bp.Config() != cfg.BranchPredictor {
+			return nil, fmt.Errorf("sim: checkpoint context %d predictor geometry does not match its config", i)
+		}
+		bps[i] = bp
+		btb, err := bpred.DecodeBTB(cr)
+		if err != nil {
+			return nil, err
+		}
+		if entries, ways := btb.Geometry(); entries != cfg.BTBEntries || ways != cfg.BTBWays {
+			return nil, fmt.Errorf("sim: checkpoint context %d BTB geometry %d/%d does not match its config %d/%d",
+				i, entries, ways, cfg.BTBEntries, cfg.BTBWays)
+		}
+		btbs[i] = btb
+		nMemo := cr.I64()
+		if err := cr.Err(); err != nil {
+			return nil, err
+		}
+		if nMemo < 0 || nMemo > maxMemoSuffix {
+			return nil, fmt.Errorf("sim: checkpoint context %d memo suffix length %d implausible", i, nMemo)
+		}
+		memo := make([]isa.Inst, nMemo)
+		for j := range memo {
+			if memo[j], err = trace.DecodeInst(cr); err != nil {
+				return nil, err
+			}
+		}
+		memos[i] = memo
 	}
-	if bp.Config() != cfg.BranchPredictor {
-		return nil, fmt.Errorf("sim: checkpoint predictor geometry does not match its config")
-	}
-	btb, err := bpred.DecodeBTB(cr)
-	if err != nil {
-		return nil, err
-	}
-	if entries, ways := btb.Geometry(); entries != cfg.BTBEntries || ways != cfg.BTBWays {
-		return nil, fmt.Errorf("sim: checkpoint BTB geometry %d/%d does not match its config %d/%d",
-			entries, ways, cfg.BTBEntries, cfg.BTBWays)
+	if got := ContextSetFingerprint(specs); got != ctxFP {
+		return nil, fmt.Errorf("sim: checkpoint context-set fingerprint %016x does not match its contexts (%016x)", ctxFP, got)
 	}
 	hier, err := mem.DecodeHierarchy(cr, cfg.Memory)
 	if err != nil {
 		return nil, err
-	}
-
-	nMemo := cr.I64()
-	if err := cr.Err(); err != nil {
-		return nil, err
-	}
-	if nMemo < 0 || nMemo > maxMemoSuffix {
-		return nil, fmt.Errorf("sim: checkpoint memo suffix length %d implausible", nMemo)
-	}
-	memo := make([]isa.Inst, nMemo)
-	for i := range memo {
-		if memo[i], err = trace.DecodeInst(cr); err != nil {
-			return nil, err
-		}
 	}
 	if tr := cr.U32(); cr.Err() == nil && tr != ckptTrailer {
 		return nil, fmt.Errorf("sim: checkpoint trailer %08x corrupt", tr)
@@ -211,17 +273,7 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("sim: trailing bytes after checkpoint")
 	}
 
-	base, err := trace.New(workload, seed)
-	if err != nil {
-		return nil, err
-	}
-	src, err := trace.ResumeForkSource(base, pos, memo)
-	if err != nil {
-		return nil, err
-	}
-	cur := src.Fork()
-	src.TrimBefore(0)
-
+	robEach, lsqEach := cfg.forContexts(int(nctx))
 	q, err := cfg.buildQueue()
 	if err != nil {
 		return nil, err
@@ -232,12 +284,24 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		hier: hier,
 		fus:  pipeline.NewFUPool(cfg.FUPerClass),
 	}
-	th, err := e.newContext(0, cur, cfg.ROBSize, cfg.LSQSize, bp, btb)
-	if err != nil {
-		return nil, err
+	for i, sp := range specs {
+		base, err := trace.New(sp.Workload, sp.Seed)
+		if err != nil {
+			return nil, err
+		}
+		src, err := trace.ResumeForkSource(base, poss[i], memos[i])
+		if err != nil {
+			return nil, err
+		}
+		cur := src.Fork()
+		src.TrimBefore(0)
+		th, err := e.newContext(i, cur, robEach, lsqEach, bps[i], btbs[i])
+		if err != nil {
+			return nil, err
+		}
+		th.workload = sp.Workload
+		e.ctxs = append(e.ctxs, th)
 	}
-	th.workload = workload
-	e.ctxs = append(e.ctxs, th)
 	e.bindCallbacks()
-	return &Checkpoint{template: e, seed: seed, warm: warm}, nil
+	return &Checkpoint{template: e, specs: specs, frontiers: poss}, nil
 }

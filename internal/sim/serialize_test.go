@@ -14,8 +14,9 @@ import (
 // bit-identically to one forked from the in-memory checkpoint it was
 // saved from, for every queue design.
 func TestSaveLoadForkMatchesInMemoryFork(t *testing.T) {
-	const workload, seed, n, warm = "swim", 1, 8000, 50_000
-	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 256), workload, seed, warm)
+	const n = 8000
+	spec := ContextSpec{Workload: "swim", Seed: 1, Warm: 50_000}
+	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 256), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,9 +28,8 @@ func TestSaveLoadForkMatchesInMemoryFork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Workload() != workload || loaded.Seed() != seed || loaded.Warm() != warm {
-		t.Fatalf("loaded key (%s, %d, %d), saved (%s, %d, %d)",
-			loaded.Workload(), loaded.Seed(), loaded.Warm(), workload, uint64(seed), int64(warm))
+	if got := loaded.Specs(); !reflect.DeepEqual(got, []ContextSpec{spec}) {
+		t.Fatalf("loaded context set %+v, saved %+v", got, spec)
 	}
 	for name, cfg := range forkTestConfigs() {
 		cfg := cfg
@@ -62,7 +62,7 @@ func TestSaveLoadForkMatchesInMemoryFork(t *testing.T) {
 // corruption tests.
 func saveTestCheckpoint(t *testing.T) []byte {
 	t.Helper()
-	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 128), "gcc", 7, 20_000)
+	ck, err := NewCheckpoint(DefaultConfig(QueueIdeal, 128), ContextSpec{Workload: "gcc", Seed: 7, Warm: 20_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,18 +146,19 @@ func newDirClient(t *testing.T) (*StoreClient, *DirStore) {
 // hit, and forks from the loaded checkpoint must match forks from the one
 // that was built and saved.
 func TestCheckpointStoreHit(t *testing.T) {
-	const workload, seed, n, warm = "swim", 2, 6000, 30_000
+	const n = 6000
+	spec := ContextSpec{Workload: "swim", Seed: 2, Warm: 30_000}
 	cfg := SegmentedConfig(256, 64, true, true)
 	st, _ := newDirClient(t)
 
-	ck1, hit, err := st.LoadOrNew(cfg, workload, seed, warm)
+	ck1, hit, err := st.LoadOrNew(cfg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hit {
 		t.Fatal("first LoadOrNew reported a hit in an empty store")
 	}
-	ck2, hit, err := st.LoadOrNew(cfg, workload, seed, warm)
+	ck2, hit, err := st.LoadOrNew(cfg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,15 +191,15 @@ func TestCheckpointStoreHit(t *testing.T) {
 // (separate file), and a corrupt file under the right name must be
 // rebuilt, not trusted.
 func TestCheckpointStoreMissOnGeometryChange(t *testing.T) {
-	const workload, seed, warm = "swim", 2, 20_000
+	spec := ContextSpec{Workload: "swim", Seed: 2, Warm: 20_000}
 	st, dir := newDirClient(t)
 	cfg := DefaultConfig(QueueIdeal, 128)
-	if _, _, err := st.LoadOrNew(cfg, workload, seed, warm); err != nil {
+	if _, _, err := st.LoadOrNew(cfg, spec); err != nil {
 		t.Fatal(err)
 	}
 	big := cfg
 	big.BTBEntries *= 2
-	if _, hit, err := st.LoadOrNew(big, workload, seed, warm); err != nil {
+	if _, hit, err := st.LoadOrNew(big, spec); err != nil {
 		t.Fatal(err)
 	} else if hit {
 		t.Fatal("geometry change hit the old checkpoint")
@@ -207,11 +208,11 @@ func TestCheckpointStoreMissOnGeometryChange(t *testing.T) {
 		t.Fatal("geometry change did not move the fingerprint")
 	}
 
-	path := dir.Path(CheckpointKey(&cfg, workload, seed, warm))
+	path := dir.Path(CheckpointKey(&cfg, []ContextSpec{spec}))
 	if err := os.WriteFile(path, []byte("garbage"), 0o666); err != nil {
 		t.Fatal(err)
 	}
-	if _, hit, err := st.LoadOrNew(cfg, workload, seed, warm); err != nil {
+	if _, hit, err := st.LoadOrNew(cfg, spec); err != nil {
 		t.Fatal(err)
 	} else if hit {
 		t.Fatal("corrupt file counted as a hit")
@@ -231,14 +232,16 @@ func TestCheckpointStoreMissOnGeometryChange(t *testing.T) {
 // to another key's name must be treated as a miss (contents win over the
 // file name).
 func TestCheckpointStoreRejectsImpersonation(t *testing.T) {
-	const workload, seed, warm = "gcc", 5, 20_000
+	spec := ContextSpec{Workload: "gcc", Seed: 5, Warm: 20_000}
+	other := spec
+	other.Seed++
 	st, dir := newDirClient(t)
 	cfg := DefaultConfig(QueueIdeal, 128)
-	if _, _, err := st.LoadOrNew(cfg, workload, seed, warm); err != nil {
+	if _, _, err := st.LoadOrNew(cfg, spec); err != nil {
 		t.Fatal(err)
 	}
-	src := dir.Path(CheckpointKey(&cfg, workload, seed, warm))
-	dst := dir.Path(CheckpointKey(&cfg, workload, seed+1, warm))
+	src := dir.Path(CheckpointKey(&cfg, []ContextSpec{spec}))
+	dst := dir.Path(CheckpointKey(&cfg, []ContextSpec{other}))
 	b, err := os.ReadFile(src)
 	if err != nil {
 		t.Fatal(err)
@@ -246,7 +249,7 @@ func TestCheckpointStoreRejectsImpersonation(t *testing.T) {
 	if err := os.WriteFile(dst, b, 0o666); err != nil {
 		t.Fatal(err)
 	}
-	if _, hit, err := st.LoadOrNew(cfg, workload, seed+1, warm); err != nil {
+	if _, hit, err := st.LoadOrNew(cfg, other); err != nil {
 		t.Fatal(err)
 	} else if hit {
 		t.Fatalf("file copied from %s impersonated %s", filepath.Base(src), filepath.Base(dst))

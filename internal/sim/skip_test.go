@@ -302,7 +302,7 @@ func TestSkipConformanceSMT(t *testing.T) {
 // harness's fast path) and that Fork treats NoSkip as a free knob rather
 // than checkpoint geometry.
 func TestCheckpointForkSkipConformance(t *testing.T) {
-	ck, err := NewCheckpoint(DistanceConfig(256), "swim", 1, 50000)
+	ck, err := NewCheckpoint(DistanceConfig(256), ContextSpec{Workload: "swim", Seed: 1, Warm: 50000})
 	if err != nil {
 		t.Fatal(err)
 	}
