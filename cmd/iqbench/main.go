@@ -64,6 +64,7 @@ func main() {
 		ckptURL     = flag.String("ckpt-url", "", "base URL of a remote checkpoint store (iqbench -ckpt-serve) shared by sweep shards on different hosts; overrides -ckpt-dir, degrades to local warmups if unreachable")
 		ckptServe   = flag.String("ckpt-serve", "", "serve the -ckpt-dir checkpoint store over HTTP at this address (e.g. :8377) instead of running experiments")
 		noSkip      = flag.Bool("no-skip", false, "step every simulated cycle instead of skipping provably idle spans; results are bit-identical either way (this flag exists for cross-checking and for before/after perf comparisons)")
+		noPrefix    = flag.Bool("no-prefix-share", false, "fork every sweep point from its warm checkpoint instead of sharing the detailed prefix of each sweep family's most permissive member; results are bit-identical either way (this flag exists for cross-checking and for before/after perf comparisons)")
 		shard       = flag.String("shard", "", "run only shard i/n of the experiment grid (format i/n) and write a shard JSON; requires a single -experiment")
 		out         = flag.String("out", "", "output path for -shard / -merge JSON (default stdout)")
 		mergeList   = flag.String("merge", "", "comma-separated shard JSON files: merge them, verify completeness, write the combined JSON and render the experiment")
@@ -101,6 +102,9 @@ func main() {
 			}
 			if w.SkipWindows > 0 {
 				fmt.Printf(" [skip: %d cycles / %d windows]", w.SkippedCycles, w.SkipWindows)
+			}
+			if w.PrefixTotalCycles > 0 {
+				fmt.Printf(" [prefix: %d/%d cycles shared]", w.PrefixSharedCycles, w.PrefixTotalCycles)
 			}
 			fmt.Println()
 		}
@@ -147,6 +151,10 @@ func main() {
 	o.Seed = *seed
 	o.Parallel = *par
 	o.NoSkip = *noSkip
+	o.NoPrefixShare = *noPrefix
+	if !*noPrefix {
+		o.PrefixStats = &sim.PrefixStats{}
+	}
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -308,10 +316,14 @@ func main() {
 }
 
 // printCkptStats reports checkpoint-cache effectiveness when -ckpt-dir
-// is in use.
+// is in use, and prefix-sharing effectiveness unless -no-prefix-share
+// disabled it.
 func printCkptStats(o experiments.Options) {
 	if o.CkptStats != nil {
 		fmt.Printf("[ckpt-cache: %s]\n", o.CkptStats)
+	}
+	if o.PrefixStats != nil {
+		fmt.Printf("[prefix: %s]\n", o.PrefixStats)
 	}
 }
 

@@ -69,6 +69,41 @@ func (p *chainPool) alloc() (chain, bool) {
 	return chain{id: id, gen: p.gens[id]}, true
 }
 
+// cloneBounded clones the pool refitted to a tighter wire budget, as if
+// it had run the same allocate/release history with max=bound. Ids are
+// drawn lowest-first from a descending initial free list and recycled by
+// appending, so after T = peak distinct ids were touched the free list is
+// exactly [max-1 … T] followed by the released ids in historical order —
+// only the untouched descending prefix depends on max. Valid only while
+// the peak never exceeded bound (a cold run at bound would have behaved
+// differently past that point); ok=false otherwise.
+func (p *chainPool) cloneBounded(bound int) (*chainPool, bool) {
+	t := int(p.peak.Value())
+	if t > bound {
+		return nil, false
+	}
+	n := new(chainPool)
+	*n = *p
+	n.max = bound
+	untouched := 0
+	if p.max > 0 {
+		untouched = p.max - t
+	}
+	released := p.free[untouched:]
+	n.free = make([]int, 0, bound-t+len(released))
+	for id := bound - 1; id >= t; id-- {
+		n.free = append(n.free, id)
+	}
+	n.free = append(n.free, released...)
+	n.gens = make([]uint32, bound)
+	if t <= len(p.gens) {
+		copy(n.gens, p.gens[:t])
+	} else {
+		copy(n.gens, p.gens)
+	}
+	return n, true
+}
+
 // release returns a chain's wire to the pool and bumps its generation so
 // in-flight signals from this use are ignored by later users.
 func (p *chainPool) release(c chain) {

@@ -104,5 +104,6 @@ func (q *SegmentedIQ) Clone(m *uop.CloneMap) iq.Queue {
 	n.lrp = q.lrp.Clone()
 	n.prevFree = append([]int(nil), q.prevFree...)
 	n.stSegOcc = append([]stats.Mean(nil), q.stSegOcc...)
+	n.demChains.Steps = q.demChains.CloneSteps()
 	return n
 }

@@ -88,6 +88,8 @@ type SegmentedIQ struct {
 	stReadySeg0      stats.Mean
 	stReadyTotal     stats.Mean
 	stDispatchSeg    stats.Mean
+
+	demChains iq.Watermark // chains-in-use high-watermark, for prefix sharing
 }
 
 // New builds a segmented IQ from cfg.
@@ -840,6 +842,7 @@ func (q *SegmentedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 			return false
 		}
 		hd = c
+		q.demChains.Observe(cycle, int64(q.chains.inUse))
 	}
 
 	// Commit point: no stalls past here.
@@ -1087,6 +1090,36 @@ func (q *SegmentedIQ) SegmentOf(u *uop.UOp) int {
 
 // ChainsInUse returns the number of currently allocated chains.
 func (q *SegmentedIQ) ChainsInUse() int { return q.chains.inUse }
+
+// Demands implements iq.Queue: the chain-wire high-watermark, which is
+// the dimension a MaxChains sweep tightens.
+func (q *SegmentedIQ) Demands() []iq.DemandCurve {
+	return []iq.DemandCurve{{Dim: "chains", Steps: q.demChains.Steps}}
+}
+
+// CloneBounded implements iq.Queue: the segmented design's sweep bound is
+// MaxChains. Wire ids are drawn lowest-first and recycled LIFO, so the
+// allocation sequence is bound-independent until the watermark crosses;
+// cloneBounded rebuilds the free list a cold run under the tighter bound
+// would hold and verifies the watermark never crossed it.
+func (q *SegmentedIQ) CloneBounded(m *uop.CloneMap, bound int) (iq.Queue, bool) {
+	if bound == q.cfg.MaxChains {
+		return q.Clone(m), true
+	}
+	if bound <= 0 {
+		// Unlimited (0) is a loosening, never a sweep sibling of a
+		// bounded reference.
+		return nil, false
+	}
+	chains, ok := q.chains.cloneBounded(bound)
+	if !ok {
+		return nil, false
+	}
+	n := q.Clone(m).(*SegmentedIQ)
+	n.chains = chains
+	n.cfg.MaxChains = bound
+	return n, true
+}
 
 // CollectStats implements iq.Queue.
 func (q *SegmentedIQ) CollectStats(s *stats.Set) {

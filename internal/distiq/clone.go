@@ -40,5 +40,20 @@ func (q *DistIQ) Clone(m *uop.CloneMap) iq.Queue {
 	for i := range n.avail {
 		n.avail[i].producer = m.Get(n.avail[i].producer)
 	}
+	n.dem.Steps = q.dem.CloneSteps()
 	return n
+}
+
+// Demands implements iq.Queue: an informational occupancy curve. The
+// design keeps no bound-independent allocation discipline to refit, so
+// the curve guides reporting only.
+func (q *DistIQ) Demands() []iq.DemandCurve {
+	return []iq.DemandCurve{{Dim: "iq", Steps: q.dem.Steps}}
+}
+
+// CloneBounded implements iq.Queue: refitting to a tighter bound is not
+// supported — placement decisions depend on the structure geometry — so
+// prefix sharing always falls back to a cold fork for this design.
+func (q *DistIQ) CloneBounded(m *uop.CloneMap, bound int) (iq.Queue, bool) {
+	return nil, false
 }

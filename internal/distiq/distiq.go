@@ -109,6 +109,8 @@ type DistIQ struct {
 	stStallFull  stats.Counter
 	stWaited     stats.Counter
 	stWaitOcc    stats.Mean
+
+	dem iq.Watermark // occupancy high-watermark, for prefix sharing
 }
 
 // New builds a distance-scheme IQ.
@@ -487,6 +489,7 @@ func (q *DistIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 	u.DispatchCycle = cycle
 	q.total++
 	q.stDispatched.Inc()
+	q.dem.Observe(cycle, int64(q.total))
 
 	if u.Inst.HasDest() {
 		lat := int64(u.Latency())

@@ -55,6 +55,17 @@ type Options struct {
 	// shard files, which deliberately omit this knob) are byte-identical
 	// either way; the flag exists for cross-checking and debugging.
 	NoSkip bool
+	// NoPrefixShare runs every sweep-family member cold from its warm
+	// checkpoint instead of forking siblings from the reference member's
+	// detailed prefix (sim.RunFamily). Sharing is bit-identical by
+	// construction — a sibling forks only at a point its demand curves
+	// prove undiverged — so, like NoSkip, the knob changes wall-clock
+	// only, is applied at fork time, and never splits checkpoint keys or
+	// shard headers.
+	NoPrefixShare bool
+	// PrefixStats, when non-nil, counts prefix-sharing outcomes across
+	// the batch's sweep families.
+	PrefixStats *sim.PrefixStats
 }
 
 // CkptStats counts checkpoint-store activity across a batch: hits,
@@ -257,31 +268,108 @@ func (c *ckCache) run(j job, instructions int64) (*sim.Result, error) {
 	return p.Run(instructions)
 }
 
+// family is a set of grid points that are sweep siblings over one warm
+// checkpoint: same context set and geometry, varying only the swept
+// resource bounds. sim.RunFamily simulates them together, forking each
+// sibling from the reference member's detailed prefix at its divergence
+// cycle instead of re-simulating it.
+type family struct {
+	jobs []job
+}
+
+type famKey struct {
+	ck  ckKey
+	fam sim.Config
+}
+
+// families groups a batch's jobs into sweep families, preserving job
+// order within each family and family order of first appearance.
+func (c *ckCache) families(jobs []job) []family {
+	idx := make(map[famKey]int)
+	var fams []family
+	for _, j := range jobs {
+		k := famKey{ck: c.key(j), fam: sim.FamilyKey(j.cfg)}
+		i, ok := idx[k]
+		if !ok {
+			i = len(fams)
+			idx[k] = i
+			fams = append(fams, family{})
+		}
+		fams[i].jobs = append(fams[i].jobs, j)
+	}
+	return fams
+}
+
+// runFamily simulates one family over its shared checkpoint and returns
+// results in member order. Claims for every member are dropped when the
+// family finishes — cold-fallback members may fork the checkpoint at any
+// point during the run, so it must stay live throughout.
+func (c *ckCache) runFamily(f family, instructions int64) ([]*sim.Result, error) {
+	defer func() {
+		for _, j := range f.jobs {
+			c.forked(j)
+		}
+	}()
+	ck, err := c.get(f.jobs[0])
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]sim.Config, len(f.jobs))
+	for i, j := range f.jobs {
+		cfg := j.cfg
+		// Fork-time knob, like NoSkip in run: uniform across the family,
+		// never in grid configs, checkpoint keys or shard headers.
+		cfg.NoSkip = c.o.NoSkip
+		cfgs[i] = cfg
+	}
+	return sim.RunFamily(ck, cfgs, instructions, !c.o.NoPrefixShare, c.o.PrefixStats)
+}
+
 // runAll executes jobs concurrently and returns results keyed by job key.
-// Any simulation error aborts the batch. The warmup fast-forward runs
-// once per workload (per memory/branch geometry); each grid point then
-// forks the warmed checkpoint instead of re-warming, which is where the
-// sweep's wall-clock win comes from — forked runs are bit-identical to
-// cold ones (see sim's checkpoint tests).
+// Any simulation error aborts the batch. Two layers of reuse stack up:
+// the warmup fast-forward runs once per workload (per memory/branch
+// geometry) and each grid point forks the warmed checkpoint instead of
+// re-warming; and within a sweep family the detailed measured prefix is
+// also shared — siblings fork from the reference run at their divergence
+// cycle (sim.RunFamily). Both layers are bit-identical to cold runs (see
+// sim's checkpoint and prefix tests).
 func (o Options) runAll(jobs []job) (map[string]*sim.Result, error) {
 	if err := o.validateBenchmarks(); err != nil {
 		return nil, err
 	}
 	cks := &ckCache{o: o, st: o.storeClient(), m: make(map[ckKey]*ckEntry)}
 	cks.retain(jobs)
-	return o.runAllWith(jobs, func(j job) (*sim.Result, error) {
-		return cks.run(j, o.Instructions)
+	return o.runFamiliesWith(cks.families(jobs), func(f family) ([]*sim.Result, error) {
+		return cks.runFamily(f, o.Instructions)
 	})
 }
 
-// runAllWith is runAll with the simulation injected, so the batch
-// machinery is testable without running real simulations. A failed job
-// flips an atomic stop flag: jobs that have not started yet observe it
-// before invoking run and are skipped, rather than burning a full
-// simulation each while the batch is already doomed. The first error (in
-// completion order) is returned.
+// runAllWith is runAll with the per-job simulation injected, so the
+// batch machinery is testable without running real simulations. Each job
+// runs as its own single-member family.
 func (o Options) runAllWith(jobs []job, run func(job) (*sim.Result, error)) (map[string]*sim.Result, error) {
-	results := make(map[string]*sim.Result, len(jobs))
+	fams := make([]family, len(jobs))
+	for i, j := range jobs {
+		fams[i] = family{jobs: []job{j}}
+	}
+	return o.runFamiliesWith(fams, func(f family) ([]*sim.Result, error) {
+		r, err := run(f.jobs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*sim.Result{r}, nil
+	})
+}
+
+// runFamiliesWith executes families concurrently — one worker slot per
+// family, members sequential within it so the reference's ladder rungs
+// exist before its siblings fork — and returns results keyed by job key.
+// A failed family flips an atomic stop flag: families that have not
+// started yet observe it before invoking run and are skipped, rather
+// than burning simulations while the batch is already doomed. The first
+// error (in completion order) is returned.
+func (o Options) runFamiliesWith(fams []family, run func(family) ([]*sim.Result, error)) (map[string]*sim.Result, error) {
+	results := make(map[string]*sim.Result)
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -289,29 +377,34 @@ func (o Options) runAllWith(jobs []job, run func(job) (*sim.Result, error)) (map
 	)
 	sem := make(chan struct{}, o.parallel())
 	var wg sync.WaitGroup
-	for _, j := range jobs {
+	for _, f := range fams {
 		wg.Add(1)
-		go func(j job) {
+		go func(f family) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if stop.Load() {
 				return
 			}
-			r, err := run(j)
+			rs, err := run(f)
+			if err == nil && len(rs) != len(f.jobs) {
+				err = fmt.Errorf("family returned %d results for %d members", len(rs), len(f.jobs))
+			}
 			if err != nil {
 				stop.Store(true)
 				mu.Lock()
 				if firstErr == nil {
-					firstErr = fmt.Errorf("%s: %w", j.key, err)
+					firstErr = fmt.Errorf("%s: %w", f.jobs[0].key, err)
 				}
 				mu.Unlock()
 				return
 			}
 			mu.Lock()
-			results[j.key] = r
+			for i, j := range f.jobs {
+				results[j.key] = rs[i]
+			}
 			mu.Unlock()
-		}(j)
+		}(f)
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFamilies: grid jobs group into the expected sweep families — the
+// ideal sizes collapse into one family, segmented chain budgets into one
+// family per geometry/variant, and geometry-baked designs stay apart.
+func TestFamilies(t *testing.T) {
+	o := Options{Instructions: 1, Warmup: 1, Seed: 1, Benchmarks: []string{"swim"}}
+	cks := &ckCache{o: o, m: make(map[ckKey]*ckEntry)}
+
+	fig3 := cks.families(fig3Jobs(o))
+	// 19 jobs: ideal x5 sizes (one family), comb-128+comb-64 per size
+	// (five families of two), presched x4 slots (four singletons).
+	sizes := map[int]int{}
+	for _, f := range fig3 {
+		sizes[len(f.jobs)]++
+	}
+	if sizes[5] != 1 || sizes[2] != 5 || sizes[1] != 4 || len(fig3) != 10 {
+		t.Errorf("fig3 family sizes = %v (families=%d)", sizes, len(fig3))
+	}
+
+	fig2 := cks.families(fig2Jobs(o))
+	// 13 jobs: the ideal-512 singleton plus one family of three chain
+	// budgets per predictor variant.
+	sizes = map[int]int{}
+	for _, f := range fig2 {
+		sizes[len(f.jobs)]++
+	}
+	if sizes[1] != 1 || sizes[3] != 4 || len(fig2) != 5 {
+		t.Errorf("fig2 family sizes = %v (families=%d)", sizes, len(fig2))
+	}
+
+	// Different workloads never share a family even with equal configs.
+	mixed := cks.families([]job{
+		{key: "a", cfg: sim.DefaultConfig(sim.QueueIdeal, 64), wl: "swim"},
+		{key: "b", cfg: sim.DefaultConfig(sim.QueueIdeal, 64), wl: "twolf"},
+	})
+	if len(mixed) != 2 {
+		t.Errorf("cross-workload jobs grouped into %d families, want 2", len(mixed))
+	}
+}
+
+// TestPrefixShareBitIdentical: a real grid run with prefix sharing on
+// must produce exactly the results of the same grid with
+// -no-prefix-share, for every job key.
+func TestPrefixShareBitIdentical(t *testing.T) {
+	o := Options{Instructions: 12_000, Warmup: 40_000, Seed: 1, Benchmarks: []string{"swim"}}
+	o.PrefixStats = &sim.PrefixStats{}
+	jobs := fig2Jobs(o)
+
+	shared, err := o.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := o
+	o2.NoPrefixShare = true
+	o2.PrefixStats = nil
+	cold, err := o2.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if !reflect.DeepEqual(shared[j.key], cold[j.key]) {
+			t.Errorf("%s: shared result differs from cold\nshared: %+v\ncold:   %+v",
+				j.key, shared[j.key].Stats, cold[j.key].Stats)
+		}
+	}
+	ps := o.PrefixStats
+	if ps.Families.Load() != 4 {
+		t.Errorf("expected 4 ladder-carrying families, got %d", ps.Families.Load())
+	}
+	if got := ps.Shared.Load() + ps.Fallbacks.Load(); got != 8 {
+		t.Errorf("sibling outcomes %d, want 8 (two per variant family)", got)
+	}
+	t.Logf("prefix: %s", ps.String())
+}

@@ -106,6 +106,14 @@ type ShardFile struct {
 	CkptStats map[string]int64 `json:",omitempty"`
 }
 
+// Prefix-sharing counters are deliberately NOT recorded in shard files:
+// a sweep's sharing outcomes depend on how the grid was partitioned
+// (shards can split a family), so embedding them would make otherwise
+// bit-identical shard sets differ. Shard runs report sharing on the
+// process's summary line instead (iqbench's [prefix: ...]), and the CI
+// prefix-share job relies on shard files staying byte-identical with
+// and without -no-prefix-share.
+
 // RunShard simulates shard `shard` of `numShards` of the named
 // experiment's grid under o. Shard 0 of 1 is exactly the full grid.
 func RunShard(o Options, experiment string, shard, numShards int) (*ShardFile, error) {

@@ -29,5 +29,20 @@ func (q *FIFOIQ) Clone(m *uop.CloneMap) iq.Queue {
 	for i, u := range q.unresolved {
 		n.unresolved[i] = m.Get(u)
 	}
+	n.dem.Steps = q.dem.CloneSteps()
 	return n
+}
+
+// Demands implements iq.Queue: an informational occupancy curve. The
+// design keeps no bound-independent allocation discipline to refit, so
+// the curve guides reporting only.
+func (q *FIFOIQ) Demands() []iq.DemandCurve {
+	return []iq.DemandCurve{{Dim: "iq", Steps: q.dem.Steps}}
+}
+
+// CloneBounded implements iq.Queue: refitting to a tighter bound is not
+// supported — placement decisions depend on the structure geometry — so
+// prefix sharing always falls back to a cold fork for this design.
+func (q *FIFOIQ) CloneBounded(m *uop.CloneMap, bound int) (iq.Queue, bool) {
+	return nil, false
 }

@@ -94,6 +94,8 @@ type FIFOIQ struct {
 	stNewFIFO    stats.Counter // placed at the head of an empty FIFO
 	stOccupancy  stats.Mean
 	stReadyHeads stats.Mean
+
+	dem iq.Watermark // occupancy high-watermark, for prefix sharing
 }
 
 // New builds a FIFO-based IQ.
@@ -320,6 +322,7 @@ func (q *FIFOIQ) place(u *uop.UOp, cycle int64) {
 	u.DispatchCycle = cycle
 	q.total++
 	q.stDispatched.Inc()
+	q.dem.Observe(cycle, int64(q.total))
 }
 
 // NotifyLoadMiss implements iq.Queue (no-op: FIFO order is fixed at

@@ -1,0 +1,74 @@
+package iq
+
+// Demand telemetry underpins divergence-aware prefix sharing. While the
+// most permissive configuration of a sweep family runs, each queue (and
+// the engine, for ROB/LSQ) records the high-watermark of every bounded
+// resource as a monotone step curve. A sibling configuration that tightens
+// one bound behaves identically until the first cycle the watermark
+// crosses its bound — its divergence cycle — so the sibling can fork from
+// a snapshot taken at or before that cycle and simulate only the suffix.
+
+// DemandStep records the first cycle a resource's high-watermark reached
+// High. Steps are strictly increasing in both fields.
+type DemandStep struct {
+	Cycle int64
+	High  int64
+}
+
+// DemandCurve is the monotone high-watermark history of one resource
+// dimension, e.g. "iq", "chains", "rob", "lsq".
+type DemandCurve struct {
+	Dim   string
+	Steps []DemandStep
+}
+
+// FirstAbove returns the first cycle at which the watermark exceeded
+// bound, or -1 if it never did. A fork taken at a cycle <= the returned
+// value is safe for a sibling with that bound: the crossing happens
+// mid-cycle, so the start-of-cycle state is still shared.
+func (c DemandCurve) FirstAbove(bound int64) int64 {
+	lo, hi := 0, len(c.Steps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.Steps[mid].High <= bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.Steps) {
+		return -1
+	}
+	return c.Steps[lo].Cycle
+}
+
+// Peak returns the final high-watermark (0 for an empty curve).
+func (c DemandCurve) Peak() int64 {
+	if len(c.Steps) == 0 {
+		return 0
+	}
+	return c.Steps[len(c.Steps)-1].High
+}
+
+// Watermark accumulates a DemandCurve. Observe is cheap enough for
+// per-dispatch call sites: one comparison, and an append only when the
+// watermark rises.
+type Watermark struct {
+	Dim   string
+	Steps []DemandStep
+}
+
+// Observe records v at cycle if it exceeds the current watermark.
+func (w *Watermark) Observe(cycle, v int64) {
+	if n := len(w.Steps); n == 0 || v > w.Steps[n-1].High {
+		w.Steps = append(w.Steps, DemandStep{Cycle: cycle, High: v})
+	}
+}
+
+// Curve returns the accumulated curve.
+func (w *Watermark) Curve() DemandCurve { return DemandCurve{Dim: w.Dim, Steps: w.Steps} }
+
+// CloneSteps returns an independent copy of the step history, for queue
+// Clone implementations (the backing array must not be shared, or the
+// original's next append could race the clone's).
+func (w *Watermark) CloneSteps() []DemandStep { return append([]DemandStep(nil), w.Steps...) }

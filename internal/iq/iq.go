@@ -105,6 +105,23 @@ type Queue interface {
 	// queue-private per-instruction state (uop.UOp.IQ) is re-attached to
 	// the clones by the implementation.
 	Clone(m *uop.CloneMap) Queue
+
+	// Demands returns the monotone high-watermark curves of the design's
+	// bounded resources, recorded since construction (see demand.go). The
+	// returned slices are owned by the queue; callers must not retain
+	// them across further stepping.
+	Demands() []DemandCurve
+
+	// CloneBounded clones the queue with its design-specific sweep bound
+	// (queue capacity for the conventional design, chain-wire count for
+	// the segmented design) tightened to bound, refitting internal
+	// structures so the clone is exactly the machine a cold run under
+	// that bound would have built — valid only while the watermark has
+	// never exceeded bound, which implementations must verify. ok=false
+	// means the refit cannot be proven safe (watermark already crossed,
+	// or the design does not support refitting) and the caller must fall
+	// back to a cold fork.
+	CloneBounded(m *uop.CloneMap, bound int) (Queue, bool)
 }
 
 // Conventional is a monolithic instruction queue with full-queue wakeup
@@ -152,6 +169,8 @@ type Conventional struct {
 	fullStalls stats.Counter
 	occupancy  stats.Mean
 	readyInIQ  stats.Mean
+
+	dem Watermark // occupancy high-watermark, for prefix sharing
 }
 
 // NewConventional builds a conventional/ideal IQ with the given capacity.
@@ -418,6 +437,7 @@ func (q *Conventional) Dispatch(cycle int64, u *uop.UOp) bool {
 	bitvec.Insert(q.storeW, pos, u.IsStore())
 	bitvec.Insert(q.readyW, pos, q.sb.Track(h, u, cycle))
 	q.dispatched.Inc()
+	q.dem.Observe(cycle, int64(len(q.slots)))
 	return true
 }
 
@@ -462,7 +482,28 @@ func (q *Conventional) Clone(m *uop.CloneMap) Queue {
 	for i, u := range q.unresolved {
 		n.unresolved[i] = m.Get(u)
 	}
+	n.dem.Steps = q.dem.CloneSteps()
 	return n
+}
+
+// Demands implements Queue: the occupancy high-watermark, which is the
+// dimension a queue-size sweep tightens.
+func (q *Conventional) Demands() []DemandCurve {
+	return []DemandCurve{{Dim: "iq", Steps: q.dem.Steps}}
+}
+
+// CloneBounded implements Queue: the conventional design's sweep bound is
+// its capacity. Handles and the scoreboard grow only with peak occupancy,
+// never with capacity, so as long as the watermark has not crossed the
+// tighter bound the clone is bit-for-bit the machine a cold run at that
+// capacity would have built.
+func (q *Conventional) CloneBounded(m *uop.CloneMap, bound int) (Queue, bool) {
+	if bound <= 0 || q.dem.Curve().Peak() > int64(bound) {
+		return nil, false
+	}
+	n := q.Clone(m).(*Conventional)
+	n.capacity = bound
+	return n, true
 }
 
 // CollectStats implements Queue.

@@ -2,51 +2,104 @@ package mem
 
 import "testing"
 
-// TestScheduleArgDoesNotAllocate pins the event queue's steady-state
-// behaviour: scheduling with a long-lived function and a pointer argument
-// allocates nothing once the heap slice has grown.
-func TestScheduleArgDoesNotAllocate(t *testing.T) {
+// countHandler bumps the int payload on delivery.
+type countHandler struct{}
+
+func (countHandler) HandleEvent(_ uint8, _ int64, _ Kind, arg any) { *arg.(*int)++ }
+
+// TestScheduleRefDoesNotAllocate pins the event queue's steady-state
+// behaviour: scheduling a handler ref with a pointer argument allocates
+// nothing once the heap slice has grown.
+func TestScheduleRefDoesNotAllocate(t *testing.T) {
 	var q EventQueue
 	fired := 0
-	fn := func(now int64, arg any) { *arg.(*int)++ }
+	ref := Ref{H: countHandler{}, Arg: &fired}
 	// Warm the heap slice.
 	for i := 0; i < 8; i++ {
-		q.ScheduleArg(int64(i), fn, &fired)
+		q.ScheduleRef(int64(i), ref)
 	}
 	q.RunDue(8)
 	now := int64(9)
 	if avg := testing.AllocsPerRun(100, func() {
-		q.ScheduleArg(now, fn, &fired)
-		q.ScheduleArg(now+1, fn, &fired)
+		q.ScheduleRef(now, ref)
+		q.ScheduleRef(now+1, ref)
 		q.RunDue(now + 1)
 		now += 2
 	}); avg != 0 {
-		t.Errorf("ScheduleArg/RunDue allocates %.1f objects per round, want 0", avg)
+		t.Errorf("ScheduleRef/RunDue allocates %.1f objects per round, want 0", avg)
 	}
 	if fired == 0 {
 		t.Fatal("events never fired")
 	}
 }
 
+// TestScheduleRefBuiltInline pins that constructing the Ref at the call
+// site — handler value, op and pointer payload — allocates nothing, since
+// every engine hot path builds its refs inline.
+func TestScheduleRefBuiltInline(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	for i := 0; i < 8; i++ {
+		q.ScheduleRef(int64(i), Ref{H: countHandler{}, Op: 3, Arg: &fired})
+	}
+	q.RunDue(8)
+	now := int64(9)
+	if avg := testing.AllocsPerRun(100, func() {
+		q.ScheduleRef(now, Ref{H: countHandler{}, Op: 3, Arg: &fired})
+		q.RunDue(now)
+		now++
+	}); avg != 0 {
+		t.Errorf("inline Ref construction allocates %.1f objects per round, want 0", avg)
+	}
+}
+
+// dropHandler ignores its deliveries.
+type dropHandler struct{}
+
+func (dropHandler) HandleEvent(uint8, int64, Kind, any) {}
+
 // TestCacheHitPathDoesNotAllocate pins the pooled hit delivery: repeated
-// hits to a resident line through AccessArg must not allocate in steady
+// hits to a resident line through AccessRef must not allocate in steady
 // state.
 func TestCacheHitPathDoesNotAllocate(t *testing.T) {
 	h := MustNewHierarchy(DefaultHierarchyConfig())
 	h.L1D.Warm(0x1000, false)
-	done := func(int64, Kind, any) {}
+	done := Ref{H: dropHandler{}}
 	now := int64(0)
 	// Warm the event heap and hit pool.
 	for i := 0; i < 8; i++ {
-		h.L1D.AccessArg(now, 0x1000, false, done, nil)
+		h.L1D.AccessRef(now, 0x1000, false, done)
 		now++
 		h.Tick(now + 4)
 	}
 	if avg := testing.AllocsPerRun(100, func() {
-		h.L1D.AccessArg(now, 0x1000, false, done, nil)
+		h.L1D.AccessRef(now, 0x1000, false, done)
 		now++
 		h.Tick(now + 4)
 	}); avg != 0 {
 		t.Errorf("hit path allocates %.1f objects per access, want 0", avg)
+	}
+}
+
+// TestPlainFuncWrapperDoesNotAllocate pins the closure-compat wrappers: a
+// long-lived func value rides a Ref without boxing.
+func TestPlainFuncWrapperDoesNotAllocate(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	fn := func(int64) { fired++ }
+	for i := 0; i < 8; i++ {
+		q.Schedule(int64(i), fn)
+	}
+	q.RunDue(8)
+	now := int64(9)
+	if avg := testing.AllocsPerRun(100, func() {
+		q.Schedule(now, fn)
+		q.RunDue(now)
+		now++
+	}); avg != 0 {
+		t.Errorf("Schedule wrapper allocates %.1f objects per round, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("events never fired")
 	}
 }

@@ -32,9 +32,9 @@ func (k Kind) String() string {
 
 // Supplier is a lower memory level that can deliver and absorb full lines.
 type Supplier interface {
-	// FetchLine requests the aligned line; done runs when the line has
-	// been delivered to the requester (link bandwidth included).
-	FetchLine(now int64, lineAddr uint64, done func(now int64))
+	// FetchLine requests the aligned line; done is delivered when the line
+	// has arrived at the requester (link bandwidth included).
+	FetchLine(now int64, lineAddr uint64, done Ref)
 	// WritebackLine absorbs a dirty line evicted by the requester.
 	WritebackLine(now int64, lineAddr uint64)
 }
@@ -106,20 +106,44 @@ type cacheLine struct {
 type mshrTarget struct {
 	write bool
 	kind  Kind
-	done  func(now int64, k Kind, arg any)
-	arg   any
+	ref   Ref
 }
 
 type mshr struct {
 	lineAddr uint64
 	targets  []mshrTarget
-	// fromAbove marks targets that are line fetches for an upper cache and
+	// upDones marks targets that are line fetches for an upper cache and
 	// therefore need up-link bandwidth on delivery.
-	upDones []func(now int64)
-	// fillDone is built once per mshr structure (it survives recycling
-	// through the owning cache's freelist) and handed to the lower level as
-	// the fetch-completion callback, so a miss schedules no fresh closure.
-	fillDone func(now int64)
+	upDones []Ref
+}
+
+// Cache event ops (HandleEvent dispatch codes).
+const (
+	// opCacheFetch (arg *mshr): the tag lookup finished; the fetch departs
+	// for the lower level.
+	opCacheFetch uint8 = iota
+	// opCacheDeliver (arg *mshr): the fill is installed; deliver every
+	// merged demand target and recycle the mshr.
+	opCacheDeliver
+	// opCacheHit (arg *mshrTarget, pooled): deliver one hit access.
+	opCacheHit
+	// opCacheFill (arg *mshr): the fetched line arrived from below.
+	opCacheFill
+)
+
+// HandleEvent implements Handler: the cache's own deferred work.
+func (c *Cache) HandleEvent(op uint8, now int64, _ Kind, arg any) {
+	switch op {
+	case opCacheFetch:
+		m := arg.(*mshr)
+		c.lower.FetchLine(now, m.lineAddr, Ref{H: c, Op: opCacheFill, Arg: m})
+	case opCacheDeliver:
+		c.deliverTargets(now, arg.(*mshr))
+	case opCacheHit:
+		c.deliverHit(now, arg.(*mshrTarget))
+	case opCacheFill:
+		c.fill(now, arg.(*mshr).lineAddr)
+	}
 }
 
 // Cache is one cache level. It is driven entirely through the shared
@@ -156,12 +180,7 @@ type Cache struct {
 	// mshrPool recycles mshr structures (and their targets/upDones
 	// capacity) so steady-state misses allocate nothing.
 	mshrPool []*mshr
-	// fetchFn/deliverFn/hitFn are ScheduleArg trampolines bound once at
-	// construction; per-event method values would each allocate.
-	fetchFn   func(now int64, arg any)
-	deliverFn func(now int64, arg any)
-	hitFn     func(now int64, arg any)
-	// hitPool recycles the (done, arg) pairs carried by hit-delivery
+	// hitPool recycles the target structures carried by hit-delivery
 	// events.
 	hitPool []*mshrTarget
 	// pendingFetches queues upper-level line fetches that arrived while
@@ -181,7 +200,7 @@ type Cache struct {
 
 type pendingFetch struct {
 	lineAddr uint64
-	done     func(now int64)
+	done     Ref
 }
 
 // NewCache builds a cache on top of lower, sharing the event queue eq.
@@ -198,7 +217,7 @@ func NewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) (*Cache, error) {
 		eq:       eq,
 		lower:    lower,
 		sets:     nLines / cfg.Ways,
-		lines:    make([]cacheLine, nLines),
+		lines:    newLines(nLines),
 		mshrTab:  make([]*mshr, cfg.MSHRs),
 		mshrLine: make([]uint64, cfg.MSHRs),
 	}
@@ -209,9 +228,6 @@ func NewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) (*Cache, error) {
 	}
 	for c.setShift = 0; 1<<c.setShift != c.sets; c.setShift++ {
 	}
-	c.fetchFn = c.startFetch
-	c.deliverFn = c.deliverTargets
-	c.hitFn = c.deliverHit
 	return c, nil
 }
 
@@ -243,7 +259,6 @@ func (c *Cache) allocMSHR(lineAddr uint64) *mshr {
 		m.lineAddr = lineAddr
 	} else {
 		m = &mshr{lineAddr: lineAddr}
-		m.fillDone = func(fillTime int64) { c.fill(fillTime, m.lineAddr) }
 	}
 	for i, s := range c.mshrTab {
 		if s == nil {
@@ -276,43 +291,34 @@ func (c *Cache) releaseMSHR(lineAddr uint64) *mshr {
 	return nil
 }
 
-// startFetch is the tag-lookup-latency event for a miss: the fetch leaves
-// for the lower level. arg is the owning *mshr.
-func (c *Cache) startFetch(t int64, arg any) {
-	m := arg.(*mshr)
-	c.lower.FetchLine(t, m.lineAddr, m.fillDone)
-}
-
 // deliverTargets completes every demand access merged into an mshr, then
-// recycles the structure. arg is the *mshr, already removed from the map.
-func (c *Cache) deliverTargets(now int64, arg any) {
-	m := arg.(*mshr)
+// recycles the structure. m has already been removed from the slot table.
+func (c *Cache) deliverTargets(now int64, m *mshr) {
 	for i := range m.targets {
 		t := &m.targets[i]
-		t.done(now, t.kind, t.arg)
-		t.done, t.arg = nil, nil
+		t.ref.Deliver(now, t.kind)
+		t.ref = Ref{}
 	}
 	m.targets = m.targets[:0]
 	for i := range m.upDones {
-		m.upDones[i] = nil
+		m.upDones[i] = Ref{}
 	}
 	m.upDones = m.upDones[:0]
 	c.mshrPool = append(c.mshrPool, m)
 }
 
-// deliverHit completes one hit access after the hit latency. arg is a
+// deliverHit completes one hit access after the hit latency. t is a
 // pooled *mshrTarget carrying the caller's callback.
-func (c *Cache) deliverHit(now int64, arg any) {
-	t := arg.(*mshrTarget)
-	done, darg := t.done, t.arg
-	t.done, t.arg = nil, nil
+func (c *Cache) deliverHit(now int64, t *mshrTarget) {
+	done := t.ref
+	t.ref = Ref{}
 	c.hitPool = append(c.hitPool, t)
-	done(now, KindHit, darg)
+	done.Deliver(now, KindHit)
 }
 
-// scheduleHit books a hit delivery without allocating: the (done, arg)
-// pair rides in a recycled mshrTarget.
-func (c *Cache) scheduleHit(when int64, done func(now int64, k Kind, arg any), arg any) {
+// scheduleHit books a hit delivery without allocating: the callback rides
+// in a recycled mshrTarget.
+func (c *Cache) scheduleHit(when int64, done Ref) {
 	var t *mshrTarget
 	if n := len(c.hitPool); n > 0 {
 		t = c.hitPool[n-1]
@@ -321,13 +327,9 @@ func (c *Cache) scheduleHit(when int64, done func(now int64, k Kind, arg any), a
 	} else {
 		t = &mshrTarget{}
 	}
-	t.done, t.arg = done, arg
-	c.eq.ScheduleArg(when, c.hitFn, t)
+	t.ref = done
+	c.eq.ScheduleRef(when, Ref{H: c, Op: opCacheHit, Arg: t})
 }
-
-// runPlainDone adapts Access's no-arg callback form to the arg-carrying
-// target form (a func value stored in an `any` does not heap-allocate).
-func runPlainDone(now int64, k Kind, arg any) { arg.(func(now int64, k Kind))(now, k) }
 
 // MustNewCache is NewCache for known-good configurations.
 func MustNewCache(cfg CacheConfig, eq *EventQueue, lower Supplier) *Cache {
@@ -387,22 +389,22 @@ func (c *Cache) Probe(addr uint64) Kind {
 // effects, if the access could not be accepted because all MSHRs are busy;
 // the caller (the LSQ) retries on a later cycle.
 func (c *Cache) Access(now int64, addr uint64, write bool, done func(now int64, k Kind)) bool {
-	return c.AccessArg(now, addr, write, runPlainDone, done)
+	return c.AccessRef(now, addr, write, KindFunc(done))
 }
 
-// AccessArg is Access with the callback split into a long-lived function
-// and a per-access argument, so a caller issuing many accesses (the LSQ)
-// need not allocate a closure per access.
-func (c *Cache) AccessArg(now int64, addr uint64, write bool, done func(now int64, k Kind, arg any), arg any) bool {
-	_, ok := c.AccessArgKind(now, addr, write, done, arg)
+// AccessRef is Access with the callback as a Ref, so a caller issuing many
+// accesses (the LSQ) schedules no closure per access and the pending
+// access survives an active clone (the Ref is remappable).
+func (c *Cache) AccessRef(now int64, addr uint64, write bool, done Ref) bool {
+	_, ok := c.AccessRefKind(now, addr, write, done)
 	return ok
 }
 
-// AccessArgKind is AccessArg reporting the tag-array outcome of an
+// AccessRefKind is AccessRef reporting the tag-array outcome of an
 // accepted access — what Probe would have returned immediately before it.
 // Callers that need both (the LSQ probes for miss-detection signalling,
 // then accesses) save a second tag and MSHR scan per access.
-func (c *Cache) AccessArgKind(now int64, addr uint64, write bool, done func(now int64, k Kind, arg any), arg any) (Kind, bool) {
+func (c *Cache) AccessRefKind(now int64, addr uint64, write bool, done Ref) (Kind, bool) {
 	lineAddr := c.LineAddr(addr)
 	if ln := c.lookup(lineAddr); ln != nil {
 		c.stats.Accesses++
@@ -412,13 +414,13 @@ func (c *Cache) AccessArgKind(now int64, addr uint64, write bool, done func(now 
 		if write {
 			ln.dirty = true
 		}
-		c.scheduleHit(now+int64(c.cfg.HitLatency), done, arg)
+		c.scheduleHit(now+int64(c.cfg.HitLatency), done)
 		return KindHit, true
 	}
 	if m := c.lookupMSHR(lineAddr); m != nil {
 		c.stats.Accesses++
 		c.stats.DelayedHits++
-		m.targets = append(m.targets, mshrTarget{write: write, kind: KindDelayedHit, done: done, arg: arg})
+		m.targets = append(m.targets, mshrTarget{write: write, kind: KindDelayedHit, ref: done})
 		return KindDelayedHit, true
 	}
 	if c.mshrCount >= c.cfg.MSHRs {
@@ -428,15 +430,15 @@ func (c *Cache) AccessArgKind(now int64, addr uint64, write bool, done func(now 
 	c.stats.Accesses++
 	c.stats.Misses++
 	m := c.allocMSHR(lineAddr)
-	m.targets = append(m.targets, mshrTarget{write: write, kind: KindMiss, done: done, arg: arg})
+	m.targets = append(m.targets, mshrTarget{write: write, kind: KindMiss, ref: done})
 	// The fetch leaves after the tag-lookup latency.
-	c.eq.ScheduleArg(now+int64(c.cfg.HitLatency), c.fetchFn, m)
+	c.eq.ScheduleRef(now+int64(c.cfg.HitLatency), Ref{H: c, Op: opCacheFetch, Arg: m})
 	return KindMiss, true
 }
 
 // FetchLine implements Supplier for an upper-level cache: a read of the
 // full line, delivered over this cache's up-link.
-func (c *Cache) FetchLine(now int64, lineAddr uint64, done func(now int64)) {
+func (c *Cache) FetchLine(now int64, lineAddr uint64, done Ref) {
 	lineAddr = c.LineAddr(lineAddr)
 	if ln := c.lookup(lineAddr); ln != nil {
 		c.stats.Accesses++
@@ -444,7 +446,7 @@ func (c *Cache) FetchLine(now int64, lineAddr uint64, done func(now int64)) {
 		c.stamp++
 		ln.lru = c.stamp
 		deliver := c.reserveLink(now + int64(c.cfg.HitLatency))
-		c.eq.Schedule(deliver, done)
+		c.eq.ScheduleRef(deliver, done)
 		return
 	}
 	if m := c.lookupMSHR(lineAddr); m != nil {
@@ -463,7 +465,7 @@ func (c *Cache) FetchLine(now int64, lineAddr uint64, done func(now int64)) {
 	c.stats.Misses++
 	m := c.allocMSHR(lineAddr)
 	m.upDones = append(m.upDones, done)
-	c.eq.ScheduleArg(now+int64(c.cfg.HitLatency), c.fetchFn, m)
+	c.eq.ScheduleRef(now+int64(c.cfg.HitLatency), Ref{H: c, Op: opCacheFetch, Arg: m})
 }
 
 // WritebackLine implements Supplier: absorb a dirty line from above. If
@@ -513,10 +515,10 @@ func (c *Cache) fill(now int64, lineAddr uint64) {
 	// One event delivers every merged demand target (same relative order as
 	// one event per target: nothing else is scheduled in between) and then
 	// recycles the mshr.
-	c.eq.ScheduleArg(now, c.deliverFn, m)
+	c.eq.ScheduleRef(now, Ref{H: c, Op: opCacheDeliver, Arg: m})
 	for _, done := range m.upDones {
 		deliver := c.reserveLink(now)
-		c.eq.Schedule(deliver, done)
+		c.eq.ScheduleRef(deliver, done)
 	}
 
 	// Start one queued upper-level fetch now that an MSHR is free.

@@ -5,6 +5,51 @@
 // write-back/write-allocate policy.
 package mem
 
+// Handler receives deferred memory-system callbacks. A component that
+// schedules events implements it once and dispatches on its own op codes;
+// now is the event's scheduled time (see RunDue's time contract), k is the
+// service kind for cache-delivery events (KindHit for plain timer events),
+// and arg is the per-event payload.
+type Handler interface {
+	HandleEvent(op uint8, now int64, k Kind, arg any)
+}
+
+// Ref names a deferred callback without a closure: a handler, the
+// handler's dispatch code, and a payload. Storing pointer-shaped values in
+// the interfaces does not heap-allocate, so hot paths build Refs freely —
+// and unlike an opaque function value, a Ref is inspectable: the
+// active-clone machinery can remap H and Arg onto a cloned machine's
+// structures, which closures made impossible.
+type Ref struct {
+	H   Handler
+	Op  uint8
+	Arg any
+}
+
+// Deliver invokes the referenced callback.
+func (r Ref) Deliver(now int64, k Kind) { r.H.HandleEvent(r.Op, now, k, r.Arg) }
+
+// plainFunc adapts a plain func(now) callback to the Handler form. A func
+// value is pointer-shaped, so carrying it in Ref.Arg allocates nothing.
+type plainFunc struct{}
+
+func (plainFunc) HandleEvent(_ uint8, now int64, _ Kind, arg any) { arg.(func(int64))(now) }
+
+// PlainFunc wraps fn as a Ref. Refs built this way cannot be remapped
+// across an active clone (the function value is opaque), so the engine's
+// own paths use real handlers; PlainFunc serves tests and one-shot
+// tooling, and the quiescent-clone path where no events are pending.
+func PlainFunc(fn func(now int64)) Ref { return Ref{H: plainFunc{}, Arg: fn} }
+
+// kindFunc adapts a func(now, Kind) access callback to the Handler form.
+type kindFunc struct{}
+
+func (kindFunc) HandleEvent(_ uint8, now int64, k Kind, arg any) { arg.(func(int64, Kind))(now, k) }
+
+// KindFunc wraps fn as a Ref whose delivery forwards the service Kind.
+// The same remapping caveat as PlainFunc applies.
+func KindFunc(fn func(now int64, k Kind)) Ref { return Ref{H: kindFunc{}, Arg: fn} }
+
 // EventQueue is a monotonic time-ordered callback queue. Events scheduled
 // for the same cycle run in scheduling order. The heap is managed by hand
 // on a typed slice (container/heap would box every event through `any`,
@@ -15,11 +60,9 @@ type EventQueue struct {
 }
 
 type event struct {
-	when  int64
-	seq   uint64
-	fn    func(now int64)
-	argFn func(now int64, arg any)
-	arg   any
+	when int64
+	seq  uint64
+	ref  Ref
 }
 
 func (q *EventQueue) less(i, j int) bool {
@@ -68,7 +111,7 @@ func (q *EventQueue) pop() event {
 	e := q.h[0]
 	n := len(q.h) - 1
 	q.h[0] = q.h[n]
-	q.h[n] = event{} // clear fn/arg so released values can be collected
+	q.h[n] = event{} // clear the ref so released values can be collected
 	q.h = q.h[:n]
 	if n > 0 {
 		q.down(0)
@@ -76,22 +119,19 @@ func (q *EventQueue) pop() event {
 	return e
 }
 
-// Schedule runs fn at the given cycle. An event scheduled in the past
-// fires on the next RunDue, but still observes its own scheduled time —
-// see RunDue's time contract.
-func (q *EventQueue) Schedule(when int64, fn func(now int64)) {
+// ScheduleRef delivers ref at the given cycle (with KindHit — the kind
+// only matters for cache-internal delivery paths, which carry it in their
+// own structures). An event scheduled in the past fires on the next
+// RunDue, but still observes its own scheduled time — see RunDue.
+func (q *EventQueue) ScheduleRef(when int64, ref Ref) {
 	q.seq++
-	q.push(event{when: when, seq: q.seq, fn: fn})
+	q.push(event{when: when, seq: q.seq, ref: ref})
 }
 
-// ScheduleArg runs fn(now, arg) at the given cycle. Unlike Schedule with a
-// capturing closure, a long-lived fn plus a pointer-typed arg allocates
-// nothing: storing a pointer in an `any` does not heap-allocate, so callers
-// that would otherwise build a fresh closure per event (one per issued
-// instruction, per cache miss, ...) should prefer this form.
-func (q *EventQueue) ScheduleArg(when int64, fn func(now int64, arg any), arg any) {
-	q.seq++
-	q.push(event{when: when, seq: q.seq, argFn: fn, arg: arg})
+// Schedule runs fn at the given cycle: ScheduleRef over a PlainFunc
+// wrapper (allocation-free, but not remappable across an active clone).
+func (q *EventQueue) Schedule(when int64, fn func(now int64)) {
+	q.ScheduleRef(when, PlainFunc(fn))
 }
 
 // RunDue executes every event whose time is <= now, including events those
@@ -108,11 +148,7 @@ func (q *EventQueue) RunDue(now int64) int {
 	n := 0
 	for len(q.h) > 0 && q.h[0].when <= now {
 		e := q.pop()
-		if e.fn != nil {
-			e.fn(e.when)
-		} else {
-			e.argFn(e.when, e.arg)
-		}
+		e.ref.Deliver(e.when, KindHit)
 		n++
 	}
 	return n

@@ -66,6 +66,14 @@ func TestEventQueueCascading(t *testing.T) {
 	}
 }
 
+// addArgHandler exercises the arg-carrying Ref path: delivery appends
+// now plus the payload's value.
+type addArgHandler struct{ got *[]int64 }
+
+func (h addArgHandler) HandleEvent(_ uint8, now int64, _ Kind, arg any) {
+	*h.got = append(*h.got, now+*arg.(*int64))
+}
+
 // Regression: callbacks observe the event's own scheduled time, not the
 // clock RunDue was called with. With idle-cycle skipping the engine's
 // clock can be far past an event's due time on the RunDue that drains it;
@@ -74,7 +82,7 @@ func TestEventQueuePastDueObservesScheduledTime(t *testing.T) {
 	var q EventQueue
 	var got []int64
 	q.Schedule(90, func(now int64) { got = append(got, now) })
-	q.ScheduleArg(95, func(now int64, arg any) { got = append(got, now+*arg.(*int64)) }, new(int64))
+	q.ScheduleRef(95, Ref{H: addArgHandler{&got}, Arg: new(int64)})
 	q.Schedule(120, func(now int64) { got = append(got, now) })
 	// The machine skips straight to cycle 120: all three events drain in
 	// one call, each seeing its own time.
@@ -125,9 +133,9 @@ type fakeLower struct {
 	wbs     int
 }
 
-func (f *fakeLower) FetchLine(now int64, lineAddr uint64, done func(int64)) {
+func (f *fakeLower) FetchLine(now int64, lineAddr uint64, done Ref) {
 	f.fetches++
-	f.eq.Schedule(now+f.latency, done)
+	f.eq.ScheduleRef(now+f.latency, done)
 }
 
 func (f *fakeLower) WritebackLine(now int64, lineAddr uint64) { f.wbs++ }
@@ -397,9 +405,9 @@ func TestMemoryBandwidthSerialization(t *testing.T) {
 	eq := &EventQueue{}
 	mm := MustNewMainMemory(eq, 100, 64, 8)
 	var times []int64
-	mm.FetchLine(0, 0x0, func(now int64) { times = append(times, now) })
-	mm.FetchLine(0, 0x40, func(now int64) { times = append(times, now) })
-	mm.FetchLine(0, 0x80, func(now int64) { times = append(times, now) })
+	mm.FetchLine(0, 0x0, PlainFunc(func(now int64) { times = append(times, now) }))
+	mm.FetchLine(0, 0x40, PlainFunc(func(now int64) { times = append(times, now) }))
+	mm.FetchLine(0, 0x80, PlainFunc(func(now int64) { times = append(times, now) }))
 	for cyc := int64(0); cyc <= 200; cyc++ {
 		eq.RunDue(cyc)
 	}
@@ -430,7 +438,7 @@ func TestMainMemoryValidation(t *testing.T) {
 	// Unlimited bandwidth is allowed.
 	mm := MustNewMainMemory(eq, 50, 64, 0)
 	var doneAt int64
-	mm.FetchLine(0, 0, func(now int64) { doneAt = now })
+	mm.FetchLine(0, 0, PlainFunc(func(now int64) { doneAt = now }))
 	eq.RunDue(50)
 	if doneAt != 50 {
 		t.Errorf("unlimited-bw fetch at %d, want 50", doneAt)
@@ -446,8 +454,8 @@ func TestL2PendingFetchQueue(t *testing.T) {
 	cfg.MSHRs = 1
 	c := MustNewCache(cfg, eq, low)
 	var done1, done2 int64 = -1, -1
-	c.FetchLine(0, 0x1000, func(now int64) { done1 = now })
-	c.FetchLine(0, 0x2000, func(now int64) { done2 = now })
+	c.FetchLine(0, 0x1000, PlainFunc(func(now int64) { done1 = now }))
+	c.FetchLine(0, 0x2000, PlainFunc(func(now int64) { done2 = now }))
 	for cyc := int64(0); cyc <= 100; cyc++ {
 		eq.RunDue(cyc)
 	}
@@ -464,8 +472,8 @@ func TestFetchLineMergesWithInflight(t *testing.T) {
 	low := &fakeLower{eq: eq, latency: 10}
 	c := MustNewCache(smallCfg, eq, low)
 	var times []int64
-	c.FetchLine(0, 0x3000, func(now int64) { times = append(times, now) })
-	c.FetchLine(1, 0x3000, func(now int64) { times = append(times, now) })
+	c.FetchLine(0, 0x3000, PlainFunc(func(now int64) { times = append(times, now) }))
+	c.FetchLine(1, 0x3000, PlainFunc(func(now int64) { times = append(times, now) }))
 	for cyc := int64(0); cyc <= 50; cyc++ {
 		eq.RunDue(cyc)
 	}

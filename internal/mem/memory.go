@@ -51,10 +51,10 @@ func (m *MainMemory) reserve(ready int64) int64 {
 }
 
 // FetchLine implements Supplier.
-func (m *MainMemory) FetchLine(now int64, lineAddr uint64, done func(now int64)) {
+func (m *MainMemory) FetchLine(now int64, lineAddr uint64, done Ref) {
 	m.fetches++
 	deliver := m.reserve(now + m.latency)
-	m.eq.Schedule(deliver, done)
+	m.eq.ScheduleRef(deliver, done)
 }
 
 // WritebackLine implements Supplier: the transfer consumes channel

@@ -8,21 +8,21 @@ import (
 // manualLower is a Supplier whose fills the test fires by hand, so MSHRs
 // stay busy exactly as long as the test wants.
 type manualLower struct {
-	fills []func(int64)
+	fills []Ref
 }
 
-func (m *manualLower) FetchLine(now int64, lineAddr uint64, done func(int64)) {
+func (m *manualLower) FetchLine(now int64, lineAddr uint64, done Ref) {
 	m.fills = append(m.fills, done)
 }
 func (m *manualLower) WritebackLine(int64, uint64) {}
 
-func (m *manualLower) takeFill(t *testing.T) func(int64) {
+func (m *manualLower) takeFill(t *testing.T) Ref {
 	t.Helper()
 	if len(m.fills) != 1 {
 		t.Fatalf("expected exactly one outstanding fetch, have %d", len(m.fills))
 	}
 	f := m.fills[0]
-	m.fills[0] = nil
+	m.fills[0] = Ref{}
 	m.fills = m.fills[:0]
 	return f
 }
@@ -42,7 +42,7 @@ func TestPendingFetchQueueSteadyStateAllocs(t *testing.T) {
 
 	now := int64(0)
 	addr := uint64(0)
-	done := func(int64) {}
+	done := Ref{H: dropHandler{}}
 	round := func() {
 		a, b := addr, addr+64
 		addr += 128               // fresh lines each round, so both fetches miss
@@ -50,10 +50,10 @@ func TestPendingFetchQueueSteadyStateAllocs(t *testing.T) {
 		c.FetchLine(now, b, done) // queued behind it
 		now += 2
 		eq.RunDue(now) // fetch for a departs to the lower level
-		low.takeFill(t)(now)
+		low.takeFill(t).Deliver(now, KindHit)
 		now += 2
 		eq.RunDue(now) // a delivered; queued fetch for b departs
-		low.takeFill(t)(now)
+		low.takeFill(t).Deliver(now, KindHit)
 		now += 2
 		eq.RunDue(now) // b delivered
 		if n := c.pendingFetchLen(); n != 0 {

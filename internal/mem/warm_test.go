@@ -66,8 +66,8 @@ func TestL2UpLinkBandwidth(t *testing.T) {
 	h.L2.Warm(0x1000, false)
 	h.L2.Warm(0x2000, false)
 	var t1, t2 int64 = -1, -1
-	h.L2.FetchLine(0, 0x1000, func(now int64) { t1 = now })
-	h.L2.FetchLine(0, 0x2000, func(now int64) { t2 = now })
+	h.L2.FetchLine(0, 0x1000, PlainFunc(func(now int64) { t1 = now }))
+	h.L2.FetchLine(0, 0x2000, PlainFunc(func(now int64) { t2 = now }))
 	for c := int64(0); c <= 30; c++ {
 		h.Tick(c)
 	}

@@ -58,6 +58,18 @@ type Metrics struct {
 	// unaffected. Absent (zero) in baselines predating the skipper.
 	SkippedCycles int64 `json:"skipped_cycles,omitempty"`
 	SkipWindows   int64 `json:"skip_windows,omitempty"`
+
+	// The prefix-sharing sweep variants also report their sharing
+	// outcomes: how many multi-member families carried a snapshot ladder,
+	// how many siblings shared the reference's prefix versus fell back to
+	// a cold fork, and how many of the total simulated cycles were not
+	// re-simulated. Sharing is bit-identical, so SimInstructions and
+	// SimCycles still match the cold and forked variants exactly.
+	PrefixFamilies     int64 `json:"prefix_families,omitempty"`
+	PrefixShared       int64 `json:"prefix_shared,omitempty"`
+	PrefixFallbacks    int64 `json:"prefix_fallbacks,omitempty"`
+	PrefixSharedCycles int64 `json:"prefix_shared_cycles,omitempty"`
+	PrefixTotalCycles  int64 `json:"prefix_total_cycles,omitempty"`
 }
 
 // Baseline is a full performance capture.
@@ -180,13 +192,19 @@ func machineWorkload(cfg sim.Config, workload string, n, warm int64) (func(b *te
 
 // sweepGrid is the pinned grid of the sweep workloads: six points varying
 // queue design and size under one memory/branch geometry, the shape of a
-// real iqbench sweep.
+// real iqbench sweep. The three segmented points form one sweep family —
+// unlimited chains (the reference), a 320-chain bound swim's demand never
+// reaches (peak 275 on this sample, so the prefix sweep shares its whole
+// run), and a 128-chain bound that binds within the first hundred cycles
+// (an honest early-divergence fallback). BENCH_7 re-recorded every sweep
+// entry under this grid; sweep numbers from earlier baselines are not
+// comparable.
 func sweepGrid(noSkip bool) []sim.Config {
 	grid := []sim.Config{
 		sim.DefaultConfig(sim.QueueIdeal, 512),
+		sim.SegmentedConfig(512, 0, true, true),
+		sim.SegmentedConfig(512, 320, true, true),
 		sim.SegmentedConfig(512, 128, true, true),
-		sim.SegmentedConfig(512, 64, true, true),
-		sim.SegmentedConfig(256, 128, true, true),
 		sim.PrescheduledConfig(320),
 		sim.DistanceConfig(320),
 	}
@@ -237,8 +255,49 @@ func sweepForked(noSkip bool) (insts, cycles int64, err error) {
 		if err != nil {
 			return 0, 0, err
 		}
+		p.Recycle()
 		insts += r.Instructions
 		cycles += r.Cycles
+	}
+	return insts, cycles, nil
+}
+
+// groupFamilies splits a sweep grid into prefix-sharing families by
+// sim.FamilyKey, preserving grid order within and across families.
+func groupFamilies(grid []sim.Config) [][]sim.Config {
+	var fams [][]sim.Config
+	idx := make(map[sim.Config]int)
+	for _, cfg := range grid {
+		k := sim.FamilyKey(cfg)
+		if i, ok := idx[k]; ok {
+			fams[i] = append(fams[i], cfg)
+		} else {
+			idx[k] = len(fams)
+			fams = append(fams, []sim.Config{cfg})
+		}
+	}
+	return fams
+}
+
+// sweepPrefix sweeps the grid the divergence-aware way: one warmup, then
+// each family runs through sim.RunFamily, sharing the reference member's
+// detailed prefix with siblings its demand curves prove identical.
+// Simulated totals must equal sweepCold's and sweepForked's exactly.
+func sweepPrefix(noSkip bool, ps *sim.PrefixStats) (insts, cycles int64, err error) {
+	ck, err := sim.NewCheckpoint(sim.DefaultConfig(sim.QueueIdeal, 512),
+		sim.ContextSpec{Workload: sweepWorkload, Seed: 1, Warm: sweepWarm})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, fam := range groupFamilies(sweepGrid(noSkip)) {
+		rs, err := sim.RunFamily(ck, fam, sweepN, true, ps)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, r := range rs {
+			insts += r.Instructions
+			cycles += r.Cycles
+		}
 	}
 	return insts, cycles, nil
 }
@@ -262,6 +321,7 @@ func sweepStore(dir string, noSkip bool) (insts, cycles int64, hit bool, err err
 		if err != nil {
 			return 0, 0, hit, err
 		}
+		p.Recycle()
 		insts += r.Instructions
 		cycles += r.Cycles
 	}
@@ -323,8 +383,32 @@ func smtSweepForked(noSkip bool) (insts, cycles int64, err error) {
 		if err != nil {
 			return 0, 0, err
 		}
+		p.Recycle()
 		insts += r.Instructions
 		cycles += r.Cycles
+	}
+	return insts, cycles, nil
+}
+
+// smtSweepPrefix runs the SMT grid through the family scheduler. Every
+// SMT grid point is a different queue design — five singleton families —
+// so nothing can share and the variant must cost the same as
+// smtSweepForked: it pins down that the family machinery adds no
+// overhead when no family exists.
+func smtSweepPrefix(noSkip bool, ps *sim.PrefixStats) (insts, cycles int64, err error) {
+	ck, err := sim.NewCheckpoint(sim.DefaultConfig(sim.QueueIdeal, 256), smtSweepSpecs()...)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, fam := range groupFamilies(smtSweepGrid(noSkip)) {
+		rs, err := sim.RunFamily(ck, fam, sweepN, true, ps)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, r := range rs {
+			insts += r.Instructions
+			cycles += r.Cycles
+		}
 	}
 	return insts, cycles, nil
 }
@@ -365,6 +449,26 @@ func measureSweep(name string, sweep func() (int64, int64, error)) Metrics {
 	}
 	if cycles > 0 {
 		m.NsPerSimCycle = m.NsPerOp / float64(cycles)
+	}
+	return m
+}
+
+// measureSweepPrefix benchmarks a prefix-sharing sweep variant and
+// attaches the last iteration's sharing outcomes to the metrics.
+func measureSweepPrefix(name string, sweep func(*sim.PrefixStats) (int64, int64, error)) Metrics {
+	var last *sim.PrefixStats
+	m := measureSweep(name, func() (int64, int64, error) {
+		ps := &sim.PrefixStats{}
+		insts, cycles, err := sweep(ps)
+		last = ps
+		return insts, cycles, err
+	})
+	if last != nil {
+		m.PrefixFamilies = last.Families.Load()
+		m.PrefixShared = last.Shared.Load()
+		m.PrefixFallbacks = last.Fallbacks.Load()
+		m.PrefixSharedCycles = last.SharedCycles.Load()
+		m.PrefixTotalCycles = last.TotalCycles.Load()
 	}
 	return m
 }
@@ -418,19 +522,29 @@ func Measure(noSkip bool) Baseline {
 		b.Workloads = append(b.Workloads, mt)
 	}
 
-	// The sweep pair measures the checkpoint-fork scheduler's win: the
-	// same pinned grid swept cold and forked. Their ns/op ratio is the
-	// sweep wall-clock saving; their simulated totals must be identical.
+	// The sweep triple measures the sweep scheduler's wins: the same
+	// pinned grid swept cold, forked from one warm checkpoint, and
+	// forked with divergence-aware prefix sharing on top. The ns/op
+	// ratios are the wall-clock savings; all three simulated totals must
+	// be identical.
 	b.Workloads = append(b.Workloads,
 		measureSweep("sweep6_swim_cold", func() (int64, int64, error) { return sweepCold(noSkip) }),
-		measureSweep("sweep6_swim_forked", func() (int64, int64, error) { return sweepForked(noSkip) }))
+		measureSweep("sweep6_swim_forked", func() (int64, int64, error) { return sweepForked(noSkip) }),
+		measureSweepPrefix("sweep6_swim_prefix", func(ps *sim.PrefixStats) (int64, int64, error) {
+			return sweepPrefix(noSkip, ps)
+		}))
 
-	// The SMT sweep pair measures the same win for a multi-context set:
-	// five queue designs forked from one two-context checkpoint versus five
-	// cold round-robin warmups. Simulated totals must be identical.
+	// The SMT sweep triple measures the same for a multi-context set:
+	// five queue designs forked from one two-context checkpoint versus
+	// five cold round-robin warmups. All five designs differ, so the
+	// prefix variant has nothing to share and must match the forked one —
+	// the no-family overhead check. Simulated totals must be identical.
 	b.Workloads = append(b.Workloads,
 		measureSweep("smt_sweep5_swim_twolf_cold", func() (int64, int64, error) { return smtSweepCold(noSkip) }),
-		measureSweep("smt_sweep5_swim_twolf_forked", func() (int64, int64, error) { return smtSweepForked(noSkip) }))
+		measureSweep("smt_sweep5_swim_twolf_forked", func() (int64, int64, error) { return smtSweepForked(noSkip) }),
+		measureSweepPrefix("smt_sweep5_swim_twolf_prefix", func(ps *sim.PrefixStats) (int64, int64, error) {
+			return smtSweepPrefix(noSkip, ps)
+		}))
 
 	// The checkpoint-store pair measures the cross-process win: the same
 	// grid swept against a fresh store (warm + serialise + sweep) and a

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestBaselineJSONRoundTrip(t *testing.T) {
@@ -96,12 +98,17 @@ func TestLatestBaseline(t *testing.T) {
 	}
 }
 
-// TestSweepVariantsSimulateIdentically: the cold and forked sweep
-// workloads must simulate exactly the same instructions and cycles — the
-// forked variant only skips redundant warmups, never work.
+// TestSweepVariantsSimulateIdentically: the cold, forked and
+// prefix-shared sweep workloads must simulate exactly the same
+// instructions and cycles — the forked variant only skips redundant
+// warmups, and the prefix variant only skips cycles its demand curves
+// prove identical; neither ever changes what is simulated. The prefix
+// variant must also actually share on the pinned grid — its segmented
+// family contains a never-binding sibling — or the sweep6 pair measures
+// nothing.
 func TestSweepVariantsSimulateIdentically(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full sweep pair in -short mode")
+		t.Skip("full sweep variants in -short mode")
 	}
 	ci, cc, err := sweepCold(false)
 	if err != nil {
@@ -114,4 +121,16 @@ func TestSweepVariantsSimulateIdentically(t *testing.T) {
 	if ci != fi || cc != fc {
 		t.Fatalf("cold sweep simulated (%d insts, %d cycles), forked (%d, %d)", ci, cc, fi, fc)
 	}
+	var ps sim.PrefixStats
+	pi, pc, err := sweepPrefix(false, &ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci != pi || cc != pc {
+		t.Fatalf("cold sweep simulated (%d insts, %d cycles), prefix-shared (%d, %d)", ci, cc, pi, pc)
+	}
+	if ps.Families.Load() != 1 || ps.Shared.Load() == 0 {
+		t.Errorf("pinned grid shared nothing: %s", ps.String())
+	}
+	t.Logf("prefix: %s", ps.String())
 }

@@ -50,7 +50,19 @@ func (f *FrontEnd) Clone(stream trace.Stream, bp *bpred.Predictor, btb *bpred.BT
 // through m; the OnLoadDone hook is not copied (the owning engine rebinds
 // it).
 func (l *LSQ) Clone(l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, m *uop.CloneMap) *LSQ {
-	n := NewLSQ(l.capacity, l1d, eq, q, l.rdPorts, l.wrPorts)
+	n, _ := l.CloneCap(l1d, eq, q, m, l.capacity)
+	return n
+}
+
+// CloneCap clones the load/store queue into a different capacity — the
+// prefix-sharing refit path, where a sibling sweep point runs the same
+// prefix under a tighter bound. The occupancy must fit; ok is false
+// otherwise and the caller falls back to a cold fork.
+func (l *LSQ) CloneCap(l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, m *uop.CloneMap, capacity int) (*LSQ, bool) {
+	if len(l.entries) > capacity {
+		return nil, false
+	}
+	n := NewLSQ(capacity, l1d, eq, q, l.rdPorts, l.wrPorts)
 	if len(l.entries) > 0 {
 		n.entries = make([]*uop.UOp, len(l.entries))
 		for i, u := range l.entries {
@@ -63,7 +75,7 @@ func (l *LSQ) Clone(l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, m *uop.Clone
 	n.loadsIssued = l.loadsIssued
 	n.storeWrites = l.storeWrites
 	n.blockedByStore = l.blockedByStore
-	return n
+	return n, true
 }
 
 // Clone returns a copy of the reorder buffer with its contents remapped
@@ -74,6 +86,21 @@ func (r *ROB) Clone(m *uop.CloneMap) *ROB {
 		n.ring[i] = m.Get(u)
 	}
 	return n
+}
+
+// CloneCap clones the reorder buffer into a ring of a different capacity,
+// re-laid with the oldest entry at slot zero. Ring position is invisible
+// to the machine — only head/occupancy arithmetic matters — so the relaid
+// copy commits identically. The occupancy must fit; ok is false otherwise.
+func (r *ROB) CloneCap(m *uop.CloneMap, capacity int) (*ROB, bool) {
+	if r.n > capacity {
+		return nil, false
+	}
+	n := &ROB{ring: make([]*uop.UOp, capacity), head: 0, n: r.n}
+	for i := 0; i < r.n; i++ {
+		n.ring[i] = m.Get(r.ring[(r.head+i)%len(r.ring)])
+	}
+	return n, true
 }
 
 // Clone returns a copy of the rename table with its producer pointers

@@ -66,18 +66,19 @@ type FrontEnd struct {
 	btbMisses      uint64
 	icacheStallCyc uint64
 	branchStallCyc uint64
-
-	// lineDoneFn clears icacheWait when a line arrives; bound once so each
-	// new-line access schedules no fresh closure.
-	lineDoneFn func(t int64, k mem.Kind)
 }
 
 // NewFrontEnd builds a front end over the given trace.
 func NewFrontEnd(cfg FrontEndConfig, s trace.Stream, bp *bpred.Predictor, btb *bpred.BTB, icache *mem.Cache) *FrontEnd {
-	f := &FrontEnd{cfg: cfg, stream: s, bp: bp, btb: btb, icache: icache}
-	f.lineDoneFn = func(int64, mem.Kind) { f.icacheWait = false }
-	return f
+	return &FrontEnd{cfg: cfg, stream: s, bp: bp, btb: btb, icache: icache}
 }
+
+// feOpLineDone is the front end's only mem.Handler op: the awaited
+// instruction line arrived.
+const feOpLineDone uint8 = 0
+
+// HandleEvent implements mem.Handler: clear the instruction-cache wait.
+func (f *FrontEnd) HandleEvent(uint8, int64, mem.Kind, any) { f.icacheWait = false }
 
 // Depth returns the total front-end latency in cycles.
 func (f *FrontEnd) Depth() int {
@@ -137,7 +138,7 @@ func (f *FrontEnd) Fetch(cycle int64) {
 		stallForLine := false
 		if newLine {
 			kind := f.icache.Probe(in.PC)
-			if f.icache.Access(cycle, in.PC, false, f.lineDoneFn) {
+			if f.icache.AccessRef(cycle, in.PC, false, mem.Ref{H: f, Op: feOpLineDone}) {
 				f.currentLine = line
 				f.haveLine = true
 				if kind != mem.KindHit {

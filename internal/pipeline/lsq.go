@@ -30,12 +30,6 @@ type LSQ struct {
 	// notifications).
 	OnLoadDone func(cycle int64, u *uop.UOp)
 
-	// Per-load callbacks, bound once at construction; Tick passes them with
-	// the load as the argument instead of building a closure per access.
-	loadDoneFn  func(t int64, k mem.Kind, arg any)
-	fwdDoneFn   func(t int64, arg any)
-	missNotifFn func(t int64, arg any)
-
 	// cover indexes the bytes written by forwarding-eligible stores,
 	// keyed by 16-byte block; rebuilt each Tick (see the walk).
 	cover *coverTab
@@ -64,7 +58,7 @@ type memWrite struct {
 
 // NewLSQ builds a load/store queue of the given capacity over l1d.
 func NewLSQ(capacity int, l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, rdPorts, wrPorts int) *LSQ {
-	l := &LSQ{
+	return &LSQ{
 		capacity:      capacity,
 		l1d:           l1d,
 		eq:            eq,
@@ -74,15 +68,39 @@ func NewLSQ(capacity int, l1d *mem.Cache, eq *mem.EventQueue, q iq.Queue, rdPort
 		missDetectLat: int64(l1d.Config().HitLatency),
 		coverEpoch:    1,
 	}
-	l.loadDoneFn = func(t int64, k mem.Kind, arg any) {
+}
+
+// LSQ event ops (mem.Handler dispatch codes). Tick schedules events
+// carrying the load as the argument instead of building a closure per
+// access, and the identifiable form lets an active clone remap them.
+const (
+	// lsqOpLoadDone (arg *uop.UOp): the load's data arrived; k is the
+	// service kind.
+	lsqOpLoadDone uint8 = iota
+	// lsqOpFwdDone (arg *uop.UOp): a store-to-load forward completes.
+	lsqOpFwdDone
+	// lsqOpMissNotif (arg *uop.UOp): miss detected at tag-lookup time —
+	// signal the IQ to suspend the load's chain (§3.4).
+	lsqOpMissNotif
+	// lsqOpStoreDrain (arg nil): a retired store's cache write finished;
+	// nothing to record.
+	lsqOpStoreDrain
+)
+
+// HandleEvent implements mem.Handler.
+func (l *LSQ) HandleEvent(op uint8, t int64, k mem.Kind, arg any) {
+	switch op {
+	case lsqOpLoadDone:
 		u := arg.(*uop.UOp)
 		u.Complete = t
 		u.MemKind = int8(k)
 		l.finishLoad(t, u)
+	case lsqOpFwdDone:
+		l.finishLoad(t, arg.(*uop.UOp))
+	case lsqOpMissNotif:
+		l.q.NotifyLoadMiss(t, arg.(*uop.UOp))
+	case lsqOpStoreDrain:
 	}
-	l.fwdDoneFn = func(t int64, arg any) { l.finishLoad(t, arg.(*uop.UOp)) }
-	l.missNotifFn = func(t int64, arg any) { l.q.NotifyLoadMiss(t, arg.(*uop.UOp)) }
-	return l
 }
 
 // Full reports whether another memory instruction can be accepted.
@@ -261,7 +279,7 @@ func (l *LSQ) Tick(cycle int64) {
 			l.l1d.SkipMSHRRejects(1)
 			break
 		}
-		if !l.l1d.Access(cycle, w.addr, true, func(int64, mem.Kind) {}) {
+		if !l.l1d.AccessRef(cycle, w.addr, true, mem.Ref{H: l, Op: lsqOpStoreDrain}) {
 			l.wqRejGen = l.l1d.AcceptGen()
 			break // MSHRs full: retry next cycle
 		}
@@ -328,7 +346,7 @@ func (l *LSQ) Tick(cycle int64) {
 				l.forwards++
 				u.MemKind = uop.MemHit
 				u.Complete = cycle + 1
-				l.eq.ScheduleArg(cycle+1, l.fwdDoneFn, u)
+				l.eq.ScheduleRef(cycle+1, mem.Ref{H: l, Op: lsqOpFwdDone, Arg: u})
 				continue
 			}
 			u.FwdKey = fwdKey
@@ -345,7 +363,7 @@ func (l *LSQ) Tick(cycle int64) {
 			l.l1d.SkipMSHRRejects(1)
 			continue
 		}
-		kind, ok := l.l1d.AccessArgKind(cycle, u.Inst.Addr, false, l.loadDoneFn, u)
+		kind, ok := l.l1d.AccessRefKind(cycle, u.Inst.Addr, false, mem.Ref{H: l, Op: lsqOpLoadDone, Arg: u})
 		if !ok {
 			l.mshrRejects++
 			u.RejGen = l.l1d.AcceptGen()
@@ -357,7 +375,7 @@ func (l *LSQ) Tick(cycle int64) {
 		if kind != mem.KindHit {
 			// The miss is detected after the tag lookup: suspend the
 			// load's chain (§3.4).
-			l.eq.ScheduleArg(cycle+l.missDetectLat, l.missNotifFn, u)
+			l.eq.ScheduleRef(cycle+l.missDetectLat, mem.Ref{H: l, Op: lsqOpMissNotif, Arg: u})
 		}
 	}
 }

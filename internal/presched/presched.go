@@ -103,6 +103,8 @@ type PreschedIQ struct {
 
 	avail []availEntry // threads * NumRegs
 
+	dem iq.Watermark // occupancy high-watermark, for prefix sharing
+
 	stDispatched stats.Counter
 	stIssued     stats.Counter
 	stStallFull  stats.Counter
@@ -503,6 +505,7 @@ func (q *PreschedIQ) Dispatch(cycle int64, u *uop.UOp) bool {
 	q.lines[placed] = append(q.lines[placed], u)
 	q.total++
 	q.stDispatched.Inc()
+	q.dem.Observe(cycle, int64(q.total))
 
 	if u.Inst.HasDest() {
 		lat := int64(u.Latency())

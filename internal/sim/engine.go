@@ -40,12 +40,10 @@ type Engine struct {
 	skippedCycles int64 // cycles elided by event-driven skipping
 	skipWindows   int64 // skip windows taken
 
-	// Per-cycle and per-instruction callbacks, bound once at construction
-	// so the cycle loop schedules no fresh closures. tryIssueFn reads
-	// e.cycle, which equals the cycle being stepped throughout Step.
+	// tryIssueFn is bound once at construction so the issue loop passes no
+	// fresh closure per call. It reads e.cycle, which equals the cycle
+	// being stepped throughout Step.
 	tryIssueFn func(*uop.UOp) bool
-	execDoneFn func(now int64, arg any) // EA done for loads: leave execution
-	wbDoneFn   func(now int64, arg any) // completion: leave execution + writeback
 
 	// Per-run statistics (aggregated across contexts).
 	stIssued       stats.Counter
@@ -54,6 +52,13 @@ type Engine struct {
 	stDispStallLSQ stats.Counter
 	stDispStallIQ  stats.Counter
 	stRobOcc       stats.Mean
+
+	// Engine-level demand telemetry for prefix sharing: per-context
+	// high-watermarks of ROB and LSQ occupancy (the max across contexts,
+	// since forContexts divides both capacities evenly). Excluded from
+	// the run's stats.Set, like the skip telemetry above.
+	demROB iq.Watermark
+	demLSQ iq.Watermark
 }
 
 // context is one hardware context: a private front end (with branch
@@ -172,8 +177,27 @@ func (e *Engine) bindCommit(th *context) {
 // bindCallbacks (re)binds the issue loop's shared callbacks to e.
 func (e *Engine) bindCallbacks() {
 	e.tryIssueFn = func(u *uop.UOp) bool { return e.fus.TryIssue(e.cycle, u) }
-	e.execDoneFn = func(now int64, arg any) { e.inExec-- }
-	e.wbDoneFn = func(now int64, arg any) {
+}
+
+// Engine event ops (mem.Handler dispatch codes). Issue schedules
+// completion events against the shared queue as identifiable refs, so an
+// active clone could remap them (none are pending at the inExec == 0
+// boundaries clones are taken at, but the mapping is registered anyway).
+const (
+	// engOpExecDone (arg nil): a load's EA calculation finished — it
+	// leaves execution; the LSQ takes over.
+	engOpExecDone uint8 = iota
+	// engOpWbDone (arg *uop.UOp): an instruction completed — leave
+	// execution and write back to the queue.
+	engOpWbDone
+)
+
+// HandleEvent implements mem.Handler.
+func (e *Engine) HandleEvent(op uint8, now int64, _ mem.Kind, arg any) {
+	switch op {
+	case engOpExecDone:
+		e.inExec--
+	case engOpWbDone:
 		e.inExec--
 		e.q.Writeback(now, arg.(*uop.UOp))
 	}
@@ -181,6 +205,17 @@ func (e *Engine) bindCallbacks() {
 
 // Queue exposes the shared scheduler under test.
 func (e *Engine) Queue() iq.Queue { return e.q }
+
+// Demands returns the machine's demand curves: the queue design's own
+// (chain wires, occupancy) plus the engine-level ROB and LSQ watermarks.
+// See iq/demand.go; the slices are owned by the engine.
+func (e *Engine) Demands() []iq.DemandCurve {
+	ds := append([]iq.DemandCurve(nil), e.q.Demands()...)
+	ds = append(ds,
+		iq.DemandCurve{Dim: "rob", Steps: e.demROB.Steps},
+		iq.DemandCurve{Dim: "lsq", Steps: e.demLSQ.Steps})
+	return ds
+}
 
 // Cycle returns the current cycle number.
 func (e *Engine) Cycle() int64 { return e.cycle }
@@ -231,6 +266,22 @@ func (e *Engine) Step() {
 
 	// 6. In-order dispatch from the front-end buffers, round-robin.
 	dispatchedN := e.dispatch(c)
+	if dispatchedN > 0 {
+		// ROB and LSQ occupancy only rise at dispatch and only fall at
+		// commit (which precedes dispatch within the cycle), so the
+		// post-dispatch value is the cycle's maximum.
+		maxRob, maxLsq := 0, 0
+		for _, th := range e.ctxs {
+			if l := th.rob.Len(); l > maxRob {
+				maxRob = l
+			}
+			if l := th.lsq.Len(); l > maxLsq {
+				maxLsq = l
+			}
+		}
+		e.demROB.Observe(c, int64(maxRob))
+		e.demLSQ.Observe(c, int64(maxLsq))
+	}
 
 	// 7. Fetch: round-robin, one context per cycle at full width (RR.1.8).
 	//    A context stalled on a misprediction or I-cache miss — or whose
@@ -377,16 +428,16 @@ func (e *Engine) issue(c int64) int {
 			// would mask the deadlocks §4.5 recovers from. Its memory
 			// traffic keeps the machine active through the event queue.
 			u.EADone = c + lat
-			e.hier.EQ.ScheduleArg(u.EADone, e.execDoneFn, nil)
+			e.hier.EQ.ScheduleRef(u.EADone, mem.Ref{H: e, Op: engOpExecDone})
 		case u.IsStore():
 			// Retirement (Complete) is set by the LSQ once the data is
 			// also ready; the chain writeback happens at EA completion
 			// (stores produce no register value).
 			u.EADone = c + lat
-			e.hier.EQ.ScheduleArg(u.EADone, e.wbDoneFn, u)
+			e.hier.EQ.ScheduleRef(u.EADone, mem.Ref{H: e, Op: engOpWbDone, Arg: u})
 		default:
 			u.Complete = c + lat
-			e.hier.EQ.ScheduleArg(u.Complete, e.wbDoneFn, u)
+			e.hier.EQ.ScheduleRef(u.Complete, mem.Ref{H: e, Op: engOpWbDone, Arg: u})
 		}
 	}
 	return len(issued)
@@ -499,6 +550,13 @@ func (e *Engine) warmContexts(streams []trace.Stream, budgets []int64) {
 // (or every trace drains). A safety valve aborts pathologically stuck
 // runs.
 func (e *Engine) run(maxInstructions int64) error {
+	return e.runHooked(maxInstructions, nil)
+}
+
+// runHooked is run with a per-iteration hook, called before each Step
+// while the machine is still at a cycle boundary. The prefix-sharing
+// ladder uses it to snapshot the reference machine mid-run.
+func (e *Engine) runHooked(maxInstructions int64, hook func(*Engine)) error {
 	if maxInstructions < 1 {
 		return fmt.Errorf("sim: instruction budget %d", maxInstructions)
 	}
@@ -520,6 +578,9 @@ func (e *Engine) run(maxInstructions int64) error {
 			}
 			return fmt.Errorf("sim: SMT run stuck after %d cycles (%d/%d committed)",
 				e.cycle, e.Committed(), maxInstructions)
+		}
+		if hook != nil {
+			hook(e)
 		}
 		e.Step()
 	}

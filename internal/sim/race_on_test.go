@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceDetector reports whether the race detector is active. sync.Pool
+// deliberately drops items at random under the detector to shake out
+// lifetime bugs, so allocation-pinning tests are meaningless there and
+// skip themselves.
+const raceDetector = true

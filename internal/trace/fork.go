@@ -20,6 +20,26 @@ type Forkable interface {
 // allocated lazily as the leading cursor advances.
 const forkChunk = 1 << 12
 
+// chunkPool recycles memo chunks across trims and sources: a long warmup
+// allocates and releases the chunks of its whole prefix one by one, and a
+// sweep repeats that per checkpoint, so without reuse the chunk churn
+// dominates a forked sweep's allocation profile. Reusing a trimmed chunk
+// is safe by the same argument that lets trimming free it: only chunks
+// wholly below every live cursor's published position are trimmed, a
+// cursor never reads below its own position, and origin forks are
+// prohibited once trimming is armed — so no reader can still be looking
+// at a pooled chunk when it is overwritten. Stale instructions in a
+// reused chunk are unobservable: slot i is readable only after the
+// source publishes count > i, which happens after the slot is written.
+var chunkPool sync.Pool
+
+func newChunk() *[forkChunk]isa.Inst {
+	if v := chunkPool.Get(); v != nil {
+		return v.(*[forkChunk]isa.Inst)
+	}
+	return new([forkChunk]isa.Inst)
+}
+
 // ForkSource memoises an underlying stream so that any number of cursors
 // can replay it, each at its own position, from concurrent goroutines.
 // The underlying stream is only ever pulled by the leading cursor, under
@@ -93,7 +113,7 @@ func (s *ForkSource) extend(target int64) {
 			chunks = *s.chunks.Load()
 			nc := make([]*[forkChunk]isa.Inst, len(chunks)+1)
 			copy(nc, chunks)
-			nc[len(chunks)] = new([forkChunk]isa.Inst)
+			nc[len(chunks)] = newChunk()
 			s.chunks.Store(&nc)
 			chunks = nc
 		}
@@ -147,7 +167,10 @@ func (s *ForkSource) trimBeforeLocked(pos int64) {
 	nc := make([]*[forkChunk]isa.Inst, len(chunks))
 	copy(nc, chunks)
 	for i := s.lowChunk; i < lo; i++ {
-		nc[i] = nil
+		if nc[i] != nil {
+			chunkPool.Put(nc[i])
+			nc[i] = nil
+		}
 	}
 	s.lowChunk = lo
 	s.chunks.Store(&nc)

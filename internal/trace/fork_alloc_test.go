@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+type countStream struct{ n int64 }
+
+func (s *countStream) Name() string { return "count" }
+func (s *countStream) Next() (isa.Inst, bool) {
+	s.n++
+	return isa.Inst{}, true
+}
+
+// TestTrimRecyclesChunks pins that a trimming source reuses its memo
+// chunks instead of reallocating one per forkChunk instructions: a
+// warmup-style pass (one cursor, live trimming from the origin) must
+// stay at a handful of allocations per chunk's worth of instructions,
+// not one 200+ KiB array each.
+func TestTrimRecyclesChunks(t *testing.T) {
+	if raceDetector {
+		t.Skip("sync.Pool drops items under the race detector; allocation bounds do not hold")
+	}
+	src := NewForkSource(&countStream{})
+	src.TrimBefore(0)
+	cur := src.Fork()
+	for i := 0; i < 4*forkChunk; i++ { // warm the pool
+		cur.Next()
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < forkChunk; i++ {
+			cur.Next()
+		}
+	}); avg > 8 {
+		t.Errorf("one chunk's worth of trimmed replay = %.0f allocs, want <= 8 — memo chunks are not being recycled", avg)
+	}
+}

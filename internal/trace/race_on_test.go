@@ -1,0 +1,9 @@
+//go:build race
+
+package trace
+
+// raceDetector reports whether the race detector is active. sync.Pool
+// deliberately drops items at random under the detector to shake out
+// lifetime bugs, so allocation-pinning tests are meaningless there and
+// skip themselves.
+const raceDetector = true
