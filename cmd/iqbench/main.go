@@ -50,24 +50,29 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, smt, or all")
-		smtSweep    = flag.Bool("smt-sweep", false, "run the SMT scenario matrix (shorthand for -experiment smt): co-scheduled context sets × queue designs × 2/4 hardware contexts; -benchmarks takes comma-separated \"+\"-joined sets, e.g. swim+twolf,mgrid+gcc")
-		n           = flag.Int64("n", 0, "measured instructions per run (0 = default)")
-		warm        = flag.Int64("warm", 0, "warm-up instructions per run (0 = default)")
-		seed        = flag.Uint64("seed", 1, "workload seed")
-		benches     = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
-		par         = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		perfJSON    = flag.String("perf-json", "", "measure simulator performance (pinned workloads) and write a BENCH json baseline to this path, instead of running experiments")
-		perfCompare = flag.String("perf-compare", "", "measure simulator performance and compare against the BENCH json baseline at this path (warn-only), instead of running experiments; \"auto\" picks the highest-numbered BENCH_<n>.json in the current directory")
-		perfThresh  = flag.Float64("perf-threshold", 0.5, "tolerated fractional slowdown for -perf-compare (0.5 = 50%)")
-		ckptDir     = flag.String("ckpt-dir", "", "directory backing the warm-checkpoint cache: warmups found there are loaded instead of re-simulated, new ones are saved for later runs")
-		ckptURL     = flag.String("ckpt-url", "", "base URL of a remote checkpoint store (iqbench -ckpt-serve) shared by sweep shards on different hosts; overrides -ckpt-dir, degrades to local warmups if unreachable")
-		ckptServe   = flag.String("ckpt-serve", "", "serve the -ckpt-dir checkpoint store over HTTP at this address (e.g. :8377) instead of running experiments")
-		noSkip      = flag.Bool("no-skip", false, "step every simulated cycle instead of skipping provably idle spans; results are bit-identical either way (this flag exists for cross-checking and for before/after perf comparisons)")
-		noPrefix    = flag.Bool("no-prefix-share", false, "fork every sweep point from its warm checkpoint instead of sharing the detailed prefix of each sweep family's most permissive member; results are bit-identical either way (this flag exists for cross-checking and for before/after perf comparisons)")
-		shard       = flag.String("shard", "", "run only shard i/n of the experiment grid (format i/n) and write a shard JSON; requires a single -experiment")
-		out         = flag.String("out", "", "output path for -shard / -merge JSON (default stdout)")
-		mergeList   = flag.String("merge", "", "comma-separated shard JSON files: merge them, verify completeness, write the combined JSON and render the experiment")
+		exp            = flag.String("experiment", "all", "fig2, table2, fig3, intext, related, power, ablations, smt, or all")
+		smtSweep       = flag.Bool("smt-sweep", false, "run the SMT scenario matrix (shorthand for -experiment smt): co-scheduled context sets × queue designs × 2/4 hardware contexts; -benchmarks takes comma-separated \"+\"-joined sets, e.g. swim+twolf,mgrid+gcc")
+		n              = flag.Int64("n", 0, "measured instructions per run (0 = default)")
+		warm           = flag.Int64("warm", 0, "warm-up instructions per run (0 = default)")
+		seed           = flag.Uint64("seed", 1, "workload seed")
+		benches        = flag.String("benchmarks", "", "comma-separated benchmark subset (default all)")
+		par            = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		perfJSON       = flag.String("perf-json", "", "measure simulator performance (pinned workloads) and write a BENCH json baseline to this path, instead of running experiments")
+		perfCompare    = flag.String("perf-compare", "", "measure simulator performance and compare against the BENCH json baseline at this path (warn-only), instead of running experiments; \"auto\" picks the highest-numbered BENCH_<n>.json in the current directory")
+		perfThresh     = flag.Float64("perf-threshold", 0.5, "tolerated fractional slowdown for -perf-compare (0.5 = 50%)")
+		ckptDir        = flag.String("ckpt-dir", "", "directory backing the warm-checkpoint cache: warmups found there are loaded instead of re-simulated, new ones are saved for later runs")
+		ckptURL        = flag.String("ckpt-url", "", "base URL of a remote checkpoint store (iqbench -ckpt-serve) shared by sweep shards on different hosts; overrides -ckpt-dir, degrades to local warmups if unreachable")
+		ckptServe      = flag.String("ckpt-serve", "", "serve the -ckpt-dir checkpoint store over HTTP at this address (e.g. :8377) instead of running experiments")
+		noSkip         = flag.Bool("no-skip", false, "step every simulated cycle instead of skipping provably idle spans; results are bit-identical either way (this flag exists for cross-checking and for before/after perf comparisons)")
+		noPrefix       = flag.Bool("no-prefix-share", false, "fork every sweep point from its warm checkpoint instead of sharing the detailed prefix of each sweep family's most permissive member; results are bit-identical either way (this flag exists for cross-checking and for before/after perf comparisons)")
+		prescreen      = flag.Bool("prescreen", false, "run a pre-screened mega-grid sweep: score every grid point with the analytic IPC model, simulate only the predicted IPC-per-entry Pareto frontier plus a seeded audit sample, and report the estimator's audit error; -out writes the simulated points as a shard JSON")
+		prescreenGrid  = flag.String("prescreen-grid", "mega", "mega-grid preset for -prescreen: mega (~13k points per workload) or ci (~340)")
+		prescreenAudit = flag.Int("prescreen-audit", 24, "seeded-random grid points simulated per workload regardless of the frontier prediction, to measure estimator error")
+		prescreenSlack = flag.Float64("prescreen-slack", 0.05, "frontier safety margin: points predicted within this fraction of their entries-group's best are simulated too")
+		prescreenCheck = flag.Float64("prescreen-check", 0, "exit non-zero when the pooled audit rank correlation falls below this threshold (0 = report only); the screening contract is 0.8")
+		shard          = flag.String("shard", "", "run only shard i/n of the experiment grid (format i/n) and write a shard JSON; requires a single -experiment")
+		out            = flag.String("out", "", "output path for -shard / -merge JSON (default stdout)")
+		mergeList      = flag.String("merge", "", "comma-separated shard JSON files: merge them, verify completeness, write the combined JSON and render the experiment")
 	)
 	flag.Parse()
 
@@ -105,6 +110,10 @@ func main() {
 			}
 			if w.PrefixTotalCycles > 0 {
 				fmt.Printf(" [prefix: %d/%d cycles shared]", w.PrefixSharedCycles, w.PrefixTotalCycles)
+			}
+			if w.PrescreenScreened > 0 {
+				fmt.Printf(" [prescreen: %d/%d simulated, audit rho %.3f]",
+					w.PrescreenSimulated, w.PrescreenScreened, w.PrescreenAuditRho)
 			}
 			fmt.Println()
 		}
@@ -169,6 +178,32 @@ func main() {
 	if *mergeList != "" {
 		if err := mergeShardFiles(strings.Split(*mergeList, ","), *out); err != nil {
 			fmt.Fprintf(os.Stderr, "iqbench: merge: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *prescreen {
+		start := time.Now()
+		po := experiments.PrescreenOptions{Grid: *prescreenGrid, Audit: *prescreenAudit, Slack: *prescreenSlack}
+		r, sf, err := experiments.Prescreen(o, po)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: prescreen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Pre-screened sweep (%s grid): simulate the predicted frontier, audit the estimator\n", r.Grid)
+		fmt.Print(r.Table().String())
+		if *out != "" {
+			if err := writeShardJSON(sf, *out); err != nil {
+				fmt.Fprintf(os.Stderr, "iqbench: prescreen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s]\n", r.Summary())
+		fmt.Printf("[prescreen completed in %.1fs]\n", time.Since(start).Seconds())
+		printCkptStats(o)
+		if *prescreenCheck > 0 && r.Spearman < *prescreenCheck {
+			fmt.Fprintf(os.Stderr, "iqbench: prescreen audit rank correlation %.3f below required %.3f\n",
+				r.Spearman, *prescreenCheck)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// TestPrescreenGridMega pins the mega preset's contract: at least 10^5
+// points across the eight workloads, unique keys, and every
+// configuration valid.
+func TestPrescreenGridMega(t *testing.T) {
+	pts, err := prescreenGrid("mega")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(pts) * len(trace.Names())
+	if total < 100_000 {
+		t.Errorf("mega grid spans %d points over %d workloads, want >= 100000", total, len(trace.Names()))
+	}
+	seen := make(map[string]bool, len(pts))
+	for _, p := range pts {
+		if seen[p.key] {
+			t.Fatalf("duplicate grid key %s", p.key)
+		}
+		seen[p.key] = true
+		if err := p.cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.key, err)
+		}
+	}
+
+	if _, err := prescreenGrid("nope"); err == nil {
+		t.Error("unknown grid name accepted")
+	}
+}
+
+// TestPrescreenSelectionBudget is the screening contract's cheap half:
+// on the mega grid, the predicted frontier plus the default audit
+// sample must select at most 5% of the points for simulation, for every
+// workload. (The expensive half — estimator accuracy on what was
+// selected — is pinned by internal/model's validation tests and
+// measured on every sweep via the audit sample.)
+func TestPrescreenSelectionBudget(t *testing.T) {
+	pts, err := prescreenGrid("mega")
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := DefaultPrescreenOptions()
+	profiles := newProfileCache(1)
+	for _, wl := range trace.Names() {
+		prof, err := profiles.get(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpts := make([]model.Point, len(pts))
+		for i, p := range pts {
+			e := model.For(prof, p.cfg)
+			mpts[i] = model.Point{Key: p.key, Entries: e.Entries, IPC: e.IPC}
+		}
+		front := model.Frontier(mpts, po.Slack)
+		selected := make(map[int]bool, len(front)+po.Audit)
+		for _, i := range front {
+			selected[i] = true
+		}
+		for _, i := range model.Sample(auditSeed(1, wl), len(pts), po.Audit) {
+			selected[i] = true
+		}
+		frac := float64(len(selected)) / float64(len(pts))
+		t.Logf("%s: frontier %d + audit %d -> %d/%d simulated (%.2f%%)",
+			wl, len(front), po.Audit, len(selected), len(pts), 100*frac)
+		if frac > 0.05 {
+			t.Errorf("%s: screening selects %.2f%% of the mega grid, contract is <= 5%%", wl, 100*frac)
+		}
+	}
+}
+
+// TestProfileCacheIdentity pins the cache contract: a cached profile is
+// identical to a freshly characterized one — the cache must change
+// nothing but the cost. (Characterize drains its stream, so the cache
+// opens a fresh source per workload; this test is the proof that reuse
+// and rebuild agree.)
+func TestProfileCacheIdentity(t *testing.T) {
+	c := newProfileCache(1)
+	first, err := c.get("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.get("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Error("cached profile differs from first retrieval")
+	}
+	s, err := trace.New("swim", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := trace.Characterize(s, profileInsts)
+	if !reflect.DeepEqual(first, fresh) {
+		t.Error("cached profile differs from a fresh Characterize")
+	}
+
+	if _, err := c.get("no-such-workload"); err == nil {
+		t.Error("unknown workload got a profile")
+	}
+}
+
+// TestPrescreenEndToEnd runs a real (tiny) pre-screened sweep on the ci
+// grid and checks the bookkeeping: counts add up, every simulated point
+// carries a simulated IPC, the audit metrics are populated, and the
+// shard file records exactly the simulated set.
+func TestPrescreenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the ci-grid selection")
+	}
+	o := Options{Instructions: 2000, Warmup: 10_000, Seed: 1, Benchmarks: []string{"gcc"}}
+	r, sf, err := Prescreen(o, PrescreenOptions{Grid: "ci", Audit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _ := prescreenGrid("ci")
+	if len(r.Workloads) != 1 || r.Workloads[0].Workload != "gcc" {
+		t.Fatalf("workloads = %+v", r.Workloads)
+	}
+	w := r.Workloads[0]
+	if w.Screened != len(pts) || r.Screened != len(pts) {
+		t.Errorf("screened %d/%d, grid has %d", w.Screened, r.Screened, len(pts))
+	}
+	if w.Simulated != len(w.Points) || w.Simulated == 0 {
+		t.Errorf("simulated %d, points %d", w.Simulated, len(w.Points))
+	}
+	if w.Simulated >= w.Screened/2 {
+		t.Errorf("screening simulated %d of %d — not much of a screen", w.Simulated, w.Screened)
+	}
+	if w.Audit != 8 {
+		t.Errorf("audit = %d, want 8", w.Audit)
+	}
+	nAudit, nFrontier := 0, 0
+	for _, p := range w.Points {
+		if p.Sim <= 0 || p.Est <= 0 {
+			t.Errorf("%s: est %v sim %v", p.Key, p.Est, p.Sim)
+		}
+		if !p.Audit && !p.Frontier {
+			t.Errorf("%s: simulated but neither frontier nor audit", p.Key)
+		}
+		if p.Audit {
+			nAudit++
+		}
+		if p.Frontier {
+			nFrontier++
+		}
+	}
+	if nAudit != w.Audit || nFrontier != w.Frontier {
+		t.Errorf("flag counts %d/%d, want %d/%d", nFrontier, nAudit, w.Frontier, w.Audit)
+	}
+	if w.BestKey == "" || w.BestIPC <= 0 {
+		t.Errorf("best point missing: %q %v", w.BestKey, w.BestIPC)
+	}
+	if r.MAPE <= 0 {
+		t.Errorf("pooled MAPE = %v", r.MAPE)
+	}
+	if !strings.Contains(r.Summary(), "prescreen:") {
+		t.Errorf("summary %q", r.Summary())
+	}
+	if r.Table() == nil {
+		t.Error("nil table")
+	}
+
+	if sf.Experiment != "prescreen-ci" || sf.TotalJobs != w.Simulated || len(sf.Results) != w.Simulated {
+		t.Errorf("shard file %s: %d jobs, %d results, want %d",
+			sf.Experiment, sf.TotalJobs, len(sf.Results), w.Simulated)
+	}
+	for _, p := range w.Points {
+		rr := sf.Results[p.Key+"/gcc"]
+		if rr == nil {
+			t.Fatalf("shard file missing %s", p.Key)
+		}
+		if rr.IPC != p.Sim {
+			t.Errorf("%s: shard IPC %v, result %v", p.Key, rr.IPC, p.Sim)
+		}
+	}
+}
+
+// TestPrescreenRejectsSMTSets pins that "+"-joined context sets are
+// refused up front: screening profiles single workloads.
+func TestPrescreenRejectsSMTSets(t *testing.T) {
+	o := DefaultOptions()
+	o.Benchmarks = []string{"swim+twolf"}
+	if _, _, err := Prescreen(o, PrescreenOptions{Grid: "ci"}); err == nil {
+		t.Error("SMT context set accepted")
+	}
+}

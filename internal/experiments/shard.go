@@ -112,7 +112,12 @@ type ShardFile struct {
 // bit-identical shard sets differ. Shard runs report sharing on the
 // process's summary line instead (iqbench's [prefix: ...]), and the CI
 // prefix-share job relies on shard files staying byte-identical with
-// and without -no-prefix-share.
+// and without -no-prefix-share. Pre-screening counters (points
+// screened, frontier size, audit error) stay out for the same reason:
+// a pre-screened sweep's shard file records only the simulated points,
+// exactly as a cold sweep of the same selection would, and the
+// screening outcome goes to the summary line (iqbench's
+// [prescreen: ...]) and the perf baseline's prescreen_* fields.
 
 // RunShard simulates shard `shard` of `numShards` of the named
 // experiment's grid under o. Shard 0 of 1 is exactly the full grid.

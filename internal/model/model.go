@@ -1,0 +1,480 @@
+// Package model estimates a configuration's IPC analytically — in
+// microseconds, not milliseconds — from a measured workload profile
+// (trace.Characterize) and a machine configuration (sim.Config). It is
+// the screening half of the pre-screening sweep mode: enumerate a
+// mega-grid, score every point here, and spend simulation only on the
+// predicted Pareto frontier plus an audit sample (internal/experiments).
+//
+// The model is an interval-style bound composition in the spirit of
+// Carroll & Lin's queuing model for FU/issue-queue sizing (arXiv
+// 1807.08586): an effective in-flight window set by the binding capacity
+// resource, a dependence-chain critical-path bound through that window
+// (extrapolated from the profile's two measured window sizes), per-class
+// function-unit and memory service-rate bounds, and a branch-mispredict
+// interval correction. It predicts *ranking* well and absolute IPC
+// roughly; the audit sample quantifies both on every pre-screened sweep
+// (DESIGN.md §12).
+package model
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Estimate is one scored grid point.
+type Estimate struct {
+	// IPC is the analytic estimate.
+	IPC float64
+	// Entries is the Pareto cost axis: total queue entries the
+	// configuration spends (IQ + ROB + LSQ).
+	Entries int
+	// Window is the effective in-flight window the model settled on.
+	Window float64
+	// Bound names the binding constraint ("dep", "iq", "rob", "lsq",
+	// "chains", "width", "fu:IntAlu", "mshr", "membw", ...) — telemetry
+	// for calibration, not part of the screening contract.
+	Bound string
+}
+
+// Entries returns the Pareto cost axis of a configuration: the total
+// queue entries it spends across IQ, ROB and LSQ. This is the x axis the
+// frontier is computed against — "best IPC per entry" rewards small
+// machines that keep up with big ones.
+func Entries(c sim.Config) int {
+	return c.QueueSize + c.ROBSize + c.LSQSize
+}
+
+// Calibration constants. These are fitted once against the simulated
+// reference grids (the validation test in this package re-checks the fit
+// on every run); they are deliberately few and global — per-workload
+// inputs all come from the profile.
+const (
+	// Per-design window efficiency: how much of its nominal capacity a
+	// queue design turns into useful lookahead. The ideal single-cycle
+	// queue defines 1.0; the scalable designs pay for banked wakeup,
+	// in-order FIFOs or prescheduled slot fragmentation.
+	effIdeal     = 1.00
+	effSegmented = 0.85
+	effPresched  = 0.55
+	effFIFO      = 0.40
+	effDistance  = 0.55
+
+	// Per-design issue-quality multipliers on the combined throughput:
+	// even at ample capacity the restricted designs issue slightly worse
+	// schedules than the ideal single-cycle queue (banked wakeup,
+	// in-order FIFOs, slot conflicts). Fitted to the simulated design
+	// ordering at 512 entries.
+	qualIdeal     = 1.00
+	qualSegmented = 0.95
+	qualPresched  = 0.88
+	qualFIFO      = 0.97
+	qualDistance  = 0.92
+
+	// Waiting-fraction model: the share of in-flight instructions still
+	// waiting in the IQ (as opposed to issued and draining through the
+	// ROB) grows with the workload's serialism, measured as the window
+	// critical path over the window size.
+	waitBase  = 0.15
+	waitSlope = 0.85
+
+	// capMissSkew is the fraction of the footprint beyond a cache's
+	// capacity that actually misses — reuse is skewed toward hot lines,
+	// so a footprint 2x the cache does not miss 50% of the time.
+	capMissSkew = 0.55
+
+	// Chain-wire efficiency: a budget of m wires sustains fewer than
+	// m/headFrac in-flight instructions because heads cluster and wires
+	// are only reclaimed at chain completion.
+	chainEff = 0.5
+
+	// Per-design scheduling-quality ceilings: the prescheduled and
+	// distance designs place instructions by *predicted* latency, so
+	// latency-unpredictable instructions stall their in-order rows. The
+	// ceiling is width*exp(-k*U) with U the unpredictable-latency
+	// fraction. For the prescheduled design U counts only cache-missing
+	// loads — fixed-latency FP ops preschedule exactly. The distance
+	// design also degrades on FP-dense codes (its coarse distance buckets
+	// under-resolve long-latency chains), so its U keeps the FP term.
+	preschedLatK = 5.5
+	distanceLatK = 4.4
+	fpUnpredict  = 1.0
+
+	// Prescheduled replay collapse: on FP workloads, when the LSQ is at
+	// least as large as the queue on a full-width (8-wide) machine, the
+	// simulated prescheduled design falls into a replay storm — enough
+	// mis-slotted loads refill the queue faster than useful issue drains
+	// it — and IPC pins near 0.2-0.3 regardless of capacity (applu 0.206,
+	// mgrid 0.279, swim 0.320 at the collapse geometries; integer codes
+	// like gcc never collapse). A smaller LSQ throttles dispatch before
+	// the storm can form, which is why lsq<iq neighbours run near-ideal.
+	fpCollapseMin       = 0.2
+	preschedCollapseIPC = 0.27
+
+	// brWindowFill: speculation past a mispredicted branch is thrown
+	// away, so capacity beyond the mispredict interval buys little.
+	// While one interval drains the front end is already refilling the
+	// next, so roughly two intervals are in flight at once; the time
+	// cost of the bubble itself is charged by the penalty term below,
+	// not by this cap.
+	brWindowFill = 2.0
+
+	// hmpFloor is the residual chain-head rate of the hit/miss
+	// predictor: even a perfect-history HMP mispredicts transitions, so
+	// some hits still spawn chains.
+	hmpFloor = 0.05
+
+	// mispredictExtra is the redirect/re-rename cost a mispredict pays on
+	// top of the front-end pipeline refill and the branch's resolution
+	// time.
+	mispredictExtra = 3.0
+
+	// hybridAdvantage scales the profiling proxy's local-predictor miss
+	// rate to the simulated hybrid's steady-state rate. Measured sim
+	// rates after checkpoint warmup sit at 0.8-1.1x the proxy on the
+	// branchy workloads (gcc 0.241 vs proxy 0.218, twolf 0.111 vs 0.143,
+	// vortex 0.072 vs 0.084) and at ~0.5x on the near-perfectly-predicted
+	// FP codes, where the absolute rate is noise anyway.
+	hybridAdvantage = 0.9
+
+	// resolveDepth scales the branch-resolution term of the mispredict
+	// penalty: a mispredicted branch redirects only after its dependence
+	// prefix — approximately the sub-window critical path — executes.
+	// Measured stall-per-mispredict matches CritPathSub x stepCost within
+	// ~15% on gcc (36.7 cycles) and twolf (403 cycles).
+	resolveDepth = 1.0
+
+	// softminP is the p-norm softmin sharpness combining the bounds: high
+	// enough to track the binding bound, soft enough that near-binding
+	// bounds still differentiate otherwise-tied configurations (exact
+	// ties are rank-correlation poison).
+	softminP = 16.0
+)
+
+// For scores one configuration against one workload profile.
+func For(p trace.Profile, c sim.Config) Estimate {
+	est := Estimate{Entries: Entries(c)}
+	if p.Instructions == 0 {
+		return est
+	}
+	memFrac := p.MemFraction()
+	loadFrac := p.MixFrac[isa.Load]
+	storeFrac := p.MixFrac[isa.Store]
+	brFrac := p.MixFrac[isa.Branch]
+	missL1, missL2 := MissRates(p, c)
+
+	// Effective window: the tightest of the ROB, the design-adjusted IQ
+	// reach, the LSQ (which must hold every in-flight memory op) and,
+	// for the segmented design, the chain-wire budget.
+	w := float64(c.ROBSize)
+	est.Bound = "rob"
+	if r := iqReach(p, c); r < w {
+		w, est.Bound = r, "iq"
+	}
+	if memFrac > 0 {
+		if r := float64(c.LSQSize) / memFrac; r < w {
+			w, est.Bound = r, "lsq"
+		}
+	}
+	if c.Queue == sim.QueueSegmented && c.Segmented.MaxChains > 0 {
+		if r := chainReach(p, c, missL1); r < w {
+			w, est.Bound = r, "chains"
+		}
+	}
+	// Speculation past a mispredicted branch is discarded, so the useful
+	// window cannot exceed the mispredict interval: branchy codes stop
+	// rewarding capacity long before the ROB fills (this is why gcc's
+	// simulated IPC is flat from 32 to 512 entries).
+	mp := Mispredict(p, c)
+	if brFrac*mp > 1e-9 {
+		if r := brWindowFill / (brFrac * mp); r < w {
+			w, est.Bound = r, "brwindow"
+		}
+	}
+	if w < 4 {
+		w = 4
+	}
+	est.Window = w
+
+	// Bound 1: dependence chains. Draining a window-full of W
+	// instructions takes depth(W) critical-path steps of stepCost cycles
+	// each.
+	bounds := []namedBound{{
+		"dep", w / (depthAt(p, w) * stepCost(p, c, missL1, missL2)),
+	}}
+
+	// Bound 2: machine widths, including the fetch branch limit.
+	width := math.Min(math.Min(float64(c.FetchWidth), float64(c.DispatchWidth)),
+		math.Min(float64(c.IssueWidth), float64(c.CommitWidth)))
+	bounds = append(bounds, namedBound{"width", width})
+	if brFrac > 0 && c.MaxBranches > 0 {
+		bounds = append(bounds, namedBound{"branches", float64(c.MaxBranches) / brFrac})
+	}
+
+	// Bound 3: per-class function-unit service rates. Unpipelined units
+	// accept one op per latency; memory classes additionally contend for
+	// cache ports.
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		f := p.MixFrac[cl]
+		if f < 1e-9 {
+			continue
+		}
+		thr := float64(c.FUPerClass)
+		if !cl.Pipelined() {
+			thr /= float64(cl.Latency())
+		}
+		bounds = append(bounds, namedBound{"fu:" + cl.String(), thr / f})
+	}
+	if loadFrac > 0 && c.CacheRdPorts > 0 {
+		bounds = append(bounds, namedBound{"rdports", float64(c.CacheRdPorts) / loadFrac})
+	}
+	if storeFrac > 0 && c.CacheWrPorts > 0 {
+		bounds = append(bounds, namedBound{"wrports", float64(c.CacheWrPorts) / storeFrac})
+	}
+
+	// Bound 3b: scheduling-quality ceiling. The prescheduled and
+	// distance designs slot instructions by predicted latency;
+	// unpredictable latencies (missing loads, FP chains) stall their
+	// in-order structures regardless of capacity, which is why their
+	// simulated curves plateau on memory-bound workloads.
+	if k := designLatK(c.Queue); k > 0 {
+		u := loadFrac * missL1
+		if c.Queue == sim.QueueDistance {
+			u += fpUnpredict * p.FpFraction()
+		}
+		bounds = append(bounds, namedBound{"sched", width * math.Exp(-k*u)})
+	}
+	if c.Queue == sim.QueuePrescheduled && p.FpFraction() >= fpCollapseMin &&
+		c.LSQSize >= c.QueueSize && c.IssueWidth >= 8 {
+		bounds = append(bounds, namedBound{"replay", preschedCollapseIPC})
+	}
+
+	// Bound 4: memory-level parallelism and DRAM bandwidth. DRAM traffic
+	// is compulsory-dominated: with an L2 that holds the reuse working
+	// set, the lines that reach memory in steady state are first touches
+	// — measured sim fetches/inst track the profile's steady-state
+	// first-touch rate within ~10% on every workload (writebacks
+	// roughly trade places with the few reused lines that stay
+	// resident).
+	if lineRate := p.SteadyLineRate; lineRate > 1e-9 {
+		// Little's law on the DRAM round trip: the window (in-flight
+		// first-touch lines) and the MSHR file bound how many of those
+		// long-latency fetches overlap.
+		transfer := 0.0
+		if c.Memory.MemBytesPerCycle > 0 {
+			transfer = 64 / float64(c.Memory.MemBytesPerCycle)
+		}
+		memLat := float64(c.Memory.L2.HitLatency) + float64(c.Memory.MemLatency) + transfer
+		mlp := math.Min(float64(c.Memory.L1D.MSHRs), w*lineRate)
+		if mlp < 1 {
+			mlp = 1
+		}
+		bounds = append(bounds, namedBound{"mshr", mlp / (lineRate * memLat)})
+		if c.Memory.MemBytesPerCycle > 0 {
+			bounds = append(bounds, namedBound{"membw",
+				float64(c.Memory.MemBytesPerCycle) / (lineRate * 64)})
+		}
+	}
+
+	base, binding := softmin(bounds)
+	if binding != "" && binding != "dep" {
+		// Capacity bounds stay as computed above; a throughput bound
+		// overrides them as the reported binding constraint.
+		est.Bound = binding
+	}
+	base *= designQual(c.Queue)
+
+	// Mispredict interval correction: a mispredicted branch redirects
+	// only after its dependence prefix — approximately the sub-window
+	// critical path, at the workload's per-step cost — executes, and
+	// then the front end refills. Measured stall-per-mispredict matches
+	// this within ~15% on gcc (36.7 cycles) and twolf (403 cycles).
+	penalty := float64(c.FetchToDecode+c.DecodeToDispatch) + mispredictExtra +
+		resolveDepth*p.CritPathSub*stepCost(p, c, missL1, missL2)
+	est.IPC = 1 / (1/base + brFrac*mp*penalty)
+	return est
+}
+
+type namedBound struct {
+	name string
+	v    float64
+}
+
+// softmin combines bounds with a p-norm soft minimum: close to the true
+// minimum, but every near-binding bound still contributes, so two
+// configurations differing only in a non-binding resource do not tie
+// exactly. Returns the combined value and the name of the smallest bound.
+func softmin(bs []namedBound) (float64, string) {
+	sum, minV, minName := 0.0, math.Inf(1), ""
+	for _, b := range bs {
+		if b.v <= 0 {
+			continue
+		}
+		sum += math.Pow(b.v, -softminP)
+		if b.v < minV {
+			minV, minName = b.v, b.name
+		}
+	}
+	if sum == 0 {
+		return 0.01, minName
+	}
+	return math.Pow(sum, -1/softminP), minName
+}
+
+// designLatK returns the scheduling-quality sensitivity of a design to
+// latency-unpredictable instructions (0 = latency-tolerant).
+func designLatK(q sim.QueueKind) float64 {
+	switch q {
+	case sim.QueuePrescheduled:
+		return preschedLatK
+	case sim.QueueDistance:
+		return distanceLatK
+	}
+	return 0
+}
+
+// iqReach is the lookahead an IQ of the configured design and size
+// sustains: capacity over the waiting fraction (instructions blocked on
+// dependences occupy IQ slots; issued ones have moved on to the ROB),
+// derated by the design's window efficiency.
+func iqReach(p trace.Profile, c sim.Config) float64 {
+	serial := p.CritPathWin / trace.ChainWindow
+	wait := waitBase + waitSlope*serial
+	switch c.Queue {
+	case sim.QueueSegmented:
+		return effSegmented * float64(c.QueueSize) / wait
+	case sim.QueuePrescheduled:
+		return effPresched * float64(c.QueueSize) / wait
+	case sim.QueueFIFO:
+		// Head-of-line blocking in the in-order FIFOs caps reach at a
+		// fixed fraction of capacity: a blocked head strands its whole
+		// FIFO no matter how few entries are actually waiting, so the
+		// waiting-fraction amplification does not apply.
+		return effFIFO * float64(c.QueueSize)
+	case sim.QueueDistance:
+		return effDistance * float64(c.QueueSize) / wait
+	}
+	return effIdeal * float64(c.QueueSize) / wait
+}
+
+// designQual is the issue-quality multiplier of a design at ample
+// capacity (see the qual* constants).
+func designQual(q sim.QueueKind) float64 {
+	switch q {
+	case sim.QueueSegmented:
+		return qualSegmented
+	case sim.QueuePrescheduled:
+		return qualPresched
+	case sim.QueueFIFO:
+		return qualFIFO
+	case sim.QueueDistance:
+		return qualDistance
+	}
+	return qualIdeal
+}
+
+// chainReach is the window a finite chain-wire budget sustains: one wire
+// per chain head, heads spawned by latency-unpredictable instructions.
+// The hit/miss predictor narrows "unpredictable" from every load to
+// (predicted) missing loads, floored by its own mispredicts.
+func chainReach(p trace.Profile, c sim.Config, missL1 float64) float64 {
+	headFrac := p.MixFrac[isa.Load]
+	if c.Segmented.UseHMP {
+		headFrac *= math.Min(1, missL1+hmpFloor)
+	}
+	if headFrac < 1e-4 {
+		headFrac = 1e-4
+	}
+	return chainEff * float64(c.Segmented.MaxChains) / headFrac
+}
+
+// depthAt extrapolates the window critical path to an arbitrary window
+// size from the profile's two measured points (ChainSubWindow and
+// ChainWindow): proportional below the first, linear through both above.
+func depthAt(p trace.Profile, w float64) float64 {
+	d64, d256 := p.CritPathSub, p.CritPathWin
+	if d64 <= 0 {
+		return 1
+	}
+	var d float64
+	if w <= trace.ChainSubWindow {
+		d = d64 * w / trace.ChainSubWindow
+	} else {
+		d = d64 + (d256-d64)*(w-trace.ChainSubWindow)/(trace.ChainWindow-trace.ChainSubWindow)
+	}
+	return math.Max(1, math.Min(d, w))
+}
+
+// stepCost is the mean latency of one critical-path step, weighted by
+// the profile's critical-path class mix. Loads on the critical path pay
+// the EA calculation plus the average memory access time; everything
+// else pays its FU latency.
+func stepCost(p trace.Profile, c sim.Config, missL1, missL2 float64) float64 {
+	amat := float64(c.Memory.L1D.HitLatency) +
+		missL1*(float64(c.Memory.L2.HitLatency)+missL2*float64(c.Memory.MemLatency))
+	cost := 0.0
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		f := p.CritClassFrac[cl]
+		if f == 0 {
+			continue
+		}
+		lat := float64(cl.Latency())
+		if cl == isa.Load {
+			lat += amat
+		}
+		cost += f * lat
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}
+
+// MissRates estimates the workload's L1-data and L2 load miss rates from
+// the profile's footprint and streaming proxies: a compulsory/streaming
+// term (lines never seen before always miss) plus a capacity term (the
+// share of the footprint a cache cannot hold, skewed because reuse
+// concentrates on hot lines). Exported for the validation tests and
+// DESIGN.md's worked example.
+func MissRates(p trace.Profile, c sim.Config) (l1, l2 float64) {
+	foot := float64(p.UniqueLines) * 64
+	new := p.NewLinesPerLoad
+	// First-touch lines always miss; the reusing remainder misses on the
+	// share of the footprint the cache cannot hold (skewed — reuse
+	// concentrates on hot lines).
+	l1 = math.Min(1, new+(1-new)*capMissSkew*excessFrac(foot, float64(c.Memory.L1D.Size)))
+	l2raw := math.Min(1, new+(1-new)*capMissSkew*excessFrac(foot, float64(c.Memory.L2.Size)))
+	if l1 > 0 {
+		// L2's rate is conditional on missing L1: compulsory misses go
+		// all the way down, capacity misses mostly stop at a fitting L2.
+		l2 = math.Min(1, l2raw/l1)
+	}
+	return l1, l2
+}
+
+func excessFrac(foot, capacity float64) float64 {
+	if foot <= capacity || foot == 0 {
+		return 0
+	}
+	return (foot - capacity) / foot
+}
+
+// Mispredict estimates the configured predictor's steady-state
+// mispredict rate: the profiling proxy's measured local-predictor miss
+// (Profile.BranchLocalMiss) scaled to the simulated hybrid. Predictor
+// table capacity only matters through aliasing — these traces touch a
+// handful of static branches (Profile.BranchSites is 1-15), so every
+// grid variant's tables hold the working set and measured sim rates
+// are identical across them; tables smaller than the working set
+// would alias and the rate climbs with the square root of the
+// overcommit. Capped at coin-flipping.
+func Mispredict(p trace.Profile, c sim.Config) float64 {
+	mp := hybridAdvantage * p.BranchLocalMiss
+	sites := float64(p.BranchSites)
+	if entries := float64(c.BranchPredictor.LocalEntries); sites > 0 && entries > 0 && entries < sites {
+		mp *= math.Sqrt(sites / entries)
+	}
+	return math.Min(0.5, mp)
+}

@@ -1,0 +1,179 @@
+package model
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is one scored grid point for frontier selection: the Pareto cost
+// axis (total queue entries) and the estimated IPC. Key carries the
+// caller's grid-point identity through sorting.
+type Point struct {
+	Key     string
+	Entries int
+	IPC     float64
+}
+
+// frontierMinGain is the minimum relative IPC improvement an
+// entries-group must predict over every cheaper group to join the
+// frontier. Without it the saturated tail of a sweep — where every
+// larger machine is predicted within slack of the plateau — would all
+// survive screening, defeating its purpose: once the predicted curve
+// flattens, spending more entries for <0.1% predicted gain is never
+// frontier material.
+const frontierMinGain = 1e-3
+
+// Frontier selects the predicted Pareto frontier of IPC versus entries,
+// widened by a relative slack: an entries-group joins the frontier when
+// its best point is predicted more than frontierMinGain better than
+// everything cheaper, and within a joining group every point within
+// slack of the group's best survives. Slack is the screening safety
+// margin — the estimator ranks well but not perfectly, so near-frontier
+// points are simulated too rather than discarded on a hairline
+// prediction. Returns indices into points, ascending; the selection is
+// deterministic (ties broken by Key).
+func Frontier(points []Point, slack float64) []int {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa.Entries != pb.Entries {
+			return pa.Entries < pb.Entries
+		}
+		if pa.IPC != pb.IPC {
+			return pa.IPC > pb.IPC
+		}
+		return pa.Key < pb.Key
+	})
+	var out []int
+	best := math.Inf(-1)
+	for g := 0; g < len(idx); {
+		h := g
+		groupBest := math.Inf(-1)
+		for ; h < len(idx) && points[idx[h]].Entries == points[idx[g]].Entries; h++ {
+			if v := points[idx[h]].IPC; v > groupBest {
+				groupBest = v
+			}
+		}
+		if groupBest > best*(1+frontierMinGain) {
+			for ; g < h; g++ {
+				if points[idx[g]].IPC >= (1-slack)*groupBest {
+					out = append(out, idx[g])
+				}
+			}
+		}
+		g = h
+		if groupBest > best {
+			best = groupBest
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Sample draws k distinct indices from [0, n) with a seeded SplitMix64
+// generator — the audit set of a pre-screened sweep. Deterministic for a
+// given (seed, n, k); returns ascending indices. k >= n returns all of
+// them.
+func Sample(seed uint64, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Partial Fisher-Yates over an index permutation.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	state := seed + 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(next()%uint64(n-i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	out := append([]int(nil), perm[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+// Spearman returns the rank correlation of two equal-length series, with
+// ties assigned average ranks (the tie-corrected form: Pearson on the
+// rank vectors). Returns 0 when either series has no rank variance.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := ranks(a), ranks(b)
+	return pearson(ra, rb)
+}
+
+// ranks assigns 1-based average ranks, ties sharing their mean rank.
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, len(v))
+	for g := 0; g < len(idx); {
+		h := g
+		for h < len(idx) && v[idx[h]] == v[idx[g]] {
+			h++
+		}
+		avg := float64(g+h+1) / 2 // mean of 1-based ranks g+1..h
+		for ; g < h; g++ {
+			r[idx[g]] = avg
+		}
+	}
+	return r
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// MAPE returns the mean absolute percentage error of est against ref,
+// skipping reference zeros.
+func MAPE(est, ref []float64) float64 {
+	sum, n := 0.0, 0
+	for i := range est {
+		if ref[i] == 0 {
+			continue
+		}
+		sum += math.Abs(est[i]-ref[i]) / math.Abs(ref[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,129 @@
+package model
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestFrontier(t *testing.T) {
+	pts := []Point{
+		{Key: "a", Entries: 64, IPC: 1.0},
+		{Key: "b", Entries: 128, IPC: 1.5},
+		{Key: "c", Entries: 128, IPC: 1.46}, // within 5% of b: survives with it
+		{Key: "d", Entries: 128, IPC: 1.0},  // dominated inside its group
+		{Key: "e", Entries: 256, IPC: 1.4},  // worse than the cheaper b: dominated
+		{Key: "f", Entries: 256, IPC: 2.0},
+		{Key: "g", Entries: 512, IPC: 2.0},    // saturated: no predicted gain over f
+		{Key: "h", Entries: 1024, IPC: 2.001}, // gain below frontierMinGain: still out
+	}
+	got := Frontier(pts, 0.05)
+	want := []int{0, 1, 2, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Frontier = %v, want %v", got, want)
+	}
+
+	// Zero slack keeps only per-group maxima that beat every cheaper group.
+	got = Frontier(pts, 0)
+	want = []int{0, 1, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Frontier(slack=0) = %v, want %v", got, want)
+	}
+
+	if got := Frontier(nil, 0.05); len(got) != 0 {
+		t.Errorf("Frontier(nil) = %v, want empty", got)
+	}
+
+	// A single point is always on the frontier.
+	if got := Frontier([]Point{{Key: "x", Entries: 10, IPC: 0.5}}, 0); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Frontier(single) = %v", got)
+	}
+}
+
+func TestFrontierTieDeterminism(t *testing.T) {
+	// Identical Entries+IPC in different input orders select the same keys.
+	a := []Point{{Key: "x", Entries: 8, IPC: 1}, {Key: "y", Entries: 8, IPC: 1}}
+	b := []Point{{Key: "y", Entries: 8, IPC: 1}, {Key: "x", Entries: 8, IPC: 1}}
+	fa, fb := Frontier(a, 0), Frontier(b, 0)
+	keys := func(pts []Point, idx []int) []string {
+		var out []string
+		for _, i := range idx {
+			out = append(out, pts[i].Key)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(keys(a, fa), keys(b, fb)) {
+		t.Errorf("tie selection depends on input order: %v vs %v", keys(a, fa), keys(b, fb))
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := Sample(42, 1000, 50)
+	if len(s) != 50 {
+		t.Fatalf("len = %d, want 50", len(s))
+	}
+	seen := map[int]bool{}
+	for i, v := range s {
+		if v < 0 || v >= 1000 {
+			t.Errorf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Errorf("duplicate index %d", v)
+		}
+		seen[v] = true
+		if i > 0 && s[i-1] >= v {
+			t.Errorf("not ascending at %d", i)
+		}
+	}
+	// Deterministic per seed, different across seeds.
+	if !reflect.DeepEqual(s, Sample(42, 1000, 50)) {
+		t.Error("Sample not deterministic")
+	}
+	if reflect.DeepEqual(s, Sample(43, 1000, 50)) {
+		t.Error("Sample identical across seeds")
+	}
+	// k >= n returns everything.
+	all := Sample(7, 5, 9)
+	if !reflect.DeepEqual(all, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("Sample(k>=n) = %v", all)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	if got := Spearman([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone: %v, want 1", got)
+	}
+	if got := Spearman([]float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("reversed: %v, want -1", got)
+	}
+	// Ties get average ranks: a tied pair straddling the right order still
+	// correlates strongly but below 1.
+	got := Spearman([]float64{1, 2, 2, 4}, []float64{1, 2, 3, 4})
+	if got <= 0.9 || got >= 1 {
+		t.Errorf("tied: %v, want (0.9, 1)", got)
+	}
+	// Zero variance on either side yields 0, not NaN.
+	if got := Spearman([]float64{5, 5, 5}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("flat est: %v, want 0", got)
+	}
+	if got := Spearman([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("length mismatch: %v, want 0", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{1.1, 0.9}, []float64{1, 1})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.1", got)
+	}
+	// Reference zeros are skipped rather than dividing by zero.
+	got = MAPE([]float64{1.2, 5}, []float64{1, 0})
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("MAPE with zero ref = %v, want 0.2", got)
+	}
+	if got := MAPE(nil, nil); got != 0 {
+		t.Errorf("MAPE(nil) = %v, want 0", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/sim"
@@ -70,6 +71,19 @@ type Metrics struct {
 	PrefixFallbacks    int64 `json:"prefix_fallbacks,omitempty"`
 	PrefixSharedCycles int64 `json:"prefix_shared_cycles,omitempty"`
 	PrefixTotalCycles  int64 `json:"prefix_total_cycles,omitempty"`
+
+	// The pre-screened sweep workload reports its screening outcome:
+	// grid points scored analytically, the points actually simulated
+	// (predicted frontier plus audit sample), the frontier's size, and
+	// the estimator's audit accuracy. Like the prefix_* counters, these
+	// live in the perf baseline and deliberately NOT in shard files —
+	// shard output stays byte-identical whether a sweep was screened,
+	// prefix-shared, or run cold.
+	PrescreenScreened  int64   `json:"prescreen_screened,omitempty"`
+	PrescreenSimulated int64   `json:"prescreen_simulated,omitempty"`
+	PrescreenFrontier  int64   `json:"prescreen_frontier,omitempty"`
+	PrescreenAuditRho  float64 `json:"prescreen_audit_rho,omitempty"`
+	PrescreenAuditMAPE float64 `json:"prescreen_audit_mape,omitempty"`
 }
 
 // Baseline is a full performance capture.
@@ -473,6 +487,42 @@ func measureSweepPrefix(name string, sweep func(*sim.PrefixStats) (int64, int64,
 	return m
 }
 
+// measurePrescreen benchmarks one pre-screened ci-grid sweep (analytic
+// scoring of every point, simulation of the predicted frontier plus the
+// audit sample) and attaches the last iteration's screening outcome.
+func measurePrescreen(name string, noSkip bool) Metrics {
+	o := experiments.Options{
+		Instructions: 2000,
+		Warmup:       10_000,
+		Seed:         1,
+		Benchmarks:   []string{"swim"},
+		NoSkip:       noSkip,
+	}
+	po := experiments.PrescreenOptions{Grid: "ci", Audit: 8}
+	var last *experiments.PrescreenResult
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, _, err := experiments.Prescreen(o, po)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+	})
+	m := fromResult(name, r)
+	if last != nil {
+		w := last.Workloads[0]
+		m.SimInstructions = int64(w.Simulated) * o.Instructions
+		m.PrescreenScreened = int64(w.Screened)
+		m.PrescreenSimulated = int64(w.Simulated)
+		m.PrescreenFrontier = int64(w.Frontier)
+		m.PrescreenAuditRho = w.Spearman
+		m.PrescreenAuditMAPE = w.MAPE
+	}
+	return m
+}
+
 // Measure runs every pinned workload and returns the baseline. It takes a
 // few seconds per workload (testing.Benchmark's usual settling). noSkip
 // steps every cycle instead of skipping provably idle spans, for
@@ -533,6 +583,14 @@ func Measure(noSkip bool) Baseline {
 		measureSweepPrefix("sweep6_swim_prefix", func(ps *sim.PrefixStats) (int64, int64, error) {
 			return sweepPrefix(noSkip, ps)
 		}))
+
+	// The pre-screened sweep measures the screening path end-to-end on a
+	// pinned selection: score the ci grid analytically for one workload,
+	// then simulate only the predicted frontier plus the audit sample.
+	// The prescreen_* fields record the screening outcome next to the
+	// wall-clock number, so a baseline shows both what screening costs
+	// and how much of the grid it spared.
+	b.Workloads = append(b.Workloads, measurePrescreen("prescreen_ci_swim", noSkip))
 
 	// The SMT sweep triple measures the same for a multi-context set:
 	// five queue designs forked from one two-context checkpoint versus

@@ -134,3 +134,93 @@ func TestSweepVariantsSimulateIdentically(t *testing.T) {
 	}
 	t.Logf("prefix: %s", ps.String())
 }
+
+// TestGroupFamiliesSweepSiblings pins that configs differing only in
+// swept bounds land in one family, in grid order: the whole point of
+// grouping is that a size sweep forms a single prefix-sharing family.
+func TestGroupFamiliesSweepSiblings(t *testing.T) {
+	grid := []sim.Config{
+		sim.DefaultConfig(sim.QueueIdeal, 512),
+		sim.DefaultConfig(sim.QueueIdeal, 128),
+		sim.DefaultConfig(sim.QueueIdeal, 32),
+	}
+	fams := groupFamilies(grid)
+	if len(fams) != 1 {
+		t.Fatalf("ideal size sweep split into %d families, want 1", len(fams))
+	}
+	for i, cfg := range fams[0] {
+		if cfg != grid[i] {
+			t.Errorf("family[%d] = iq%d, grid order not preserved", i, cfg.QueueSize)
+		}
+	}
+}
+
+// TestGroupFamiliesSingletons pins the opposite edge: configs that
+// differ in a non-swept dimension (machine width) each form a singleton
+// family — sharing a prefix across different machines would be unsound,
+// so the grouping must fall back to one-config families.
+func TestGroupFamiliesSingletons(t *testing.T) {
+	grid := make([]sim.Config, 0, 3)
+	for _, w := range []int{8, 4, 2} {
+		c := sim.DefaultConfig(sim.QueueIdeal, 256)
+		c.FetchWidth, c.DispatchWidth, c.IssueWidth, c.CommitWidth = w, w, w, w
+		grid = append(grid, c)
+	}
+	fams := groupFamilies(grid)
+	if len(fams) != len(grid) {
+		t.Fatalf("width variants grouped into %d families, want %d singletons", len(fams), len(grid))
+	}
+	for i, fam := range fams {
+		if len(fam) != 1 || fam[0] != grid[i] {
+			t.Errorf("family %d = %d configs, want singleton grid[%d]", i, len(fam), i)
+		}
+	}
+}
+
+// TestGroupFamiliesMultiDimension pins grouping on a grid that sweeps
+// several dimensions at once — designs interleaved with sizes, the shape
+// a mega-grid enumeration produces. Families must split by design (and
+// any other non-swept axis) while collecting every size under it, and
+// family order must follow first appearance in the grid.
+func TestGroupFamiliesMultiDimension(t *testing.T) {
+	grid := []sim.Config{
+		sim.DefaultConfig(sim.QueueIdeal, 32),
+		sim.SegmentedConfig(512, 0, true, true),
+		sim.DefaultConfig(sim.QueueIdeal, 64),
+		sim.SegmentedConfig(512, 128, true, true),
+		sim.FIFOConfig(64),
+		sim.SegmentedConfig(512, 320, true, true),
+	}
+	fams := groupFamilies(grid)
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3 (ideal, segmented, fifos)", len(fams))
+	}
+	wantOrder := []sim.QueueKind{sim.QueueIdeal, sim.QueueSegmented, sim.QueueFIFO}
+	wantSize := []int{2, 3, 1}
+	total := 0
+	for i, fam := range fams {
+		if fam[0].Queue != wantOrder[i] {
+			t.Errorf("family %d is %v, want %v (first-appearance order)", i, fam[0].Queue, wantOrder[i])
+		}
+		if len(fam) != wantSize[i] {
+			t.Errorf("family %d has %d members, want %d", i, len(fam), wantSize[i])
+		}
+		total += len(fam)
+	}
+	if total != len(grid) {
+		t.Errorf("families hold %d configs, grid has %d", total, len(grid))
+	}
+
+	// Stability: grouping is deterministic — same grid, same split.
+	again := groupFamilies(grid)
+	if len(again) != len(fams) {
+		t.Fatalf("regrouping gave %d families, want %d", len(again), len(fams))
+	}
+	for i := range fams {
+		for j := range fams[i] {
+			if fams[i][j] != again[i][j] {
+				t.Errorf("family[%d][%d] differs between identical calls", i, j)
+			}
+		}
+	}
+}
