@@ -32,6 +32,19 @@
 // The store is strictly an accelerator: if the server is unreachable
 // or dies mid-sweep, shards warm locally and finish with identical
 // results.
+//
+// A coordinator replaces the static -shard split with leased jobs:
+// one host enumerates the grid, workers pull cost-ordered batches and
+// upload results, crashed workers' leases expire back into the queue,
+// and completed fragments are spooled so a coordinator restart loses
+// nothing. The merged output is byte-identical to the single-process
+// run:
+//
+//	iqbench -coord :8377 -experiment table2 -out merged.json   # on one host
+//	iqbench -worker -coord-url http://host:8377                # on each worker
+//
+// Add -ckpt-dir to the coordinator to also serve shared warmups to
+// the workers over the same address.
 package main
 
 import (
@@ -43,6 +56,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/experiments"
 	"repro/internal/perf"
 	"repro/internal/sim"
@@ -70,6 +84,12 @@ func main() {
 		prescreenAudit = flag.Int("prescreen-audit", 24, "seeded-random grid points simulated per workload regardless of the frontier prediction, to measure estimator error")
 		prescreenSlack = flag.Float64("prescreen-slack", 0.05, "frontier safety margin: points predicted within this fraction of their entries-group's best are simulated too")
 		prescreenCheck = flag.Float64("prescreen-check", 0, "exit non-zero when the pooled audit rank correlation falls below this threshold (0 = report only); the screening contract is 0.8")
+		coordServe     = flag.String("coord", "", "serve a sweep coordinator at this address (e.g. :8377): enumerate the -experiment grid, lease jobs to -worker processes, accumulate their fragments, and write the merged JSON to -out when the grid completes; add -ckpt-dir to also serve shared warmups under /ckpt/")
+		coordSpool     = flag.String("coord-spool", ".coord-spool", "directory where the coordinator durably spools completed fragments; a restarted coordinator over the same spool resumes without re-simulating finished jobs")
+		coordLease     = flag.Duration("coord-lease", coord.DefaultLeaseTTL, "lease TTL for coordinator jobs; a worker that stops renewing for this long has its jobs re-queued")
+		workerMode     = flag.Bool("worker", false, "run as a sweep worker: pull leased jobs from the -coord-url coordinator, simulate them, upload results, exit when the grid is done")
+		coordURL       = flag.String("coord-url", "", "base URL of the coordinator (e.g. http://host:8377) for -worker")
+		coordBatch     = flag.Int("coord-batch", 1, "jobs leased per request in -worker mode (the coordinator caps it); 1 gives the finest-grained load balancing")
 		shard          = flag.String("shard", "", "run only shard i/n of the experiment grid (format i/n) and write a shard JSON; requires a single -experiment")
 		out            = flag.String("out", "", "output path for -shard / -merge JSON (default stdout)")
 		mergeList      = flag.String("merge", "", "comma-separated shard JSON files: merge them, verify completeness, write the combined JSON and render the experiment")
@@ -173,6 +193,39 @@ func main() {
 	} else if *ckptDir != "" {
 		o.CheckpointDir = *ckptDir
 		o.CkptStats = &experiments.CkptStats{}
+	}
+
+	if *workerMode {
+		if *coordURL == "" {
+			fmt.Fprintln(os.Stderr, "iqbench: -worker requires -coord-url (the coordinator to pull jobs from)")
+			os.Exit(2)
+		}
+		stats := &sim.StoreStats{}
+		w := &coord.Worker{
+			URL:       *coordURL,
+			BatchSize: *coordBatch,
+			Parallel:  *par,
+			Stats:     stats,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+		if err := w.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: worker: %v\n", err)
+			os.Exit(1)
+		}
+		if len(stats.Values()) > 0 {
+			fmt.Fprintf(os.Stderr, "[ckpt-cache: %s]\n", stats)
+		}
+		return
+	}
+
+	if *coordServe != "" {
+		if err := serveCoordinator(*coordServe, *exp, o, *coordSpool, *coordLease, *ckptDir, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "iqbench: coord: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *mergeList != "" {
@@ -350,6 +403,64 @@ func main() {
 	printCkptStats(o)
 }
 
+// serveCoordinator runs the -coord mode: enumerate the experiment's
+// grid, serve leases until every job has a result, then write the
+// merged file (byte-identical to a single-process -shard 0/1 run) and
+// exit. Completed fragments are spooled under spoolDir before they are
+// acknowledged, so restarting the coordinator over the same spool
+// resumes without losing or re-simulating finished work.
+func serveCoordinator(addr, experiment string, o experiments.Options, spoolDir string, leaseTTL time.Duration, ckptDir, outPath string) error {
+	if experiment == "" || experiment == "all" {
+		return fmt.Errorf("-coord needs a single -experiment (the grid to distribute)")
+	}
+	costs, err := perf.LoadCostModel(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "[coord: no perf baseline (%v); ordering jobs by instruction count]\n", err)
+		costs = nil
+	}
+	s, err := coord.NewServer(coord.Config{
+		Experiment: experiment,
+		Options:    o,
+		SpoolDir:   spoolDir,
+		LeaseTTL:   leaseTTL,
+		Costs:      costs,
+		CkptDir:    ckptDir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	fail := make(chan error, 1)
+	go func() { fail <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "[coord: %s grid (%d jobs) on %s, spool %s, lease %s]\n",
+		experiment, s.Merged().TotalJobs, addr, spoolDir, leaseTTL)
+	select {
+	case err := <-fail:
+		return err
+	case <-s.Done():
+	}
+	if err := writeShardJSON(s.Merged(), outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[coord: grid complete, merged %d results to %s]\n",
+		len(s.Merged().Results), outOrStdout(outPath))
+	// Linger so workers still polling for more work observe Done and
+	// exit cleanly instead of erroring against a vanished server.
+	time.Sleep(5 * time.Second)
+	srv.Close()
+	return nil
+}
+
+func outOrStdout(path string) string {
+	if path == "" {
+		return "stdout"
+	}
+	return path
+}
+
 // printCkptStats reports checkpoint-cache effectiveness when -ckpt-dir
 // is in use, and prefix-sharing effectiveness unless -no-prefix-share
 // disabled it.
@@ -366,11 +477,10 @@ func printCkptStats(o experiments.Options) {
 // path, or to stdout when path is empty. The encoding is deterministic
 // (Go sorts map keys), so identical result sets produce identical bytes.
 func writeShardJSON(sf *experiments.ShardFile, path string) error {
-	b, err := json.MarshalIndent(sf, "", "  ")
+	b, err := sf.MarshalPretty()
 	if err != nil {
 		return err
 	}
-	b = append(b, '\n')
 	if path == "" {
 		_, err = os.Stdout.Write(b)
 		return err

@@ -232,6 +232,9 @@ func MergeShards(files []*ShardFile) (*ShardFile, error) {
 		if sf.Schema != ShardSchema {
 			return nil, fmt.Errorf("experiments: shard schema %d, this build reads %d", sf.Schema, ShardSchema)
 		}
+		if sf.Shard < 0 || sf.Shard >= sf.NumShards {
+			return nil, fmt.Errorf("experiments: shard index %d out of range for a %d-shard sweep", sf.Shard, sf.NumShards)
+		}
 		if sf.header() != first.header() {
 			return nil, fmt.Errorf("experiments: shard %d header mismatch:\n  %s\n  %s", sf.Shard, sf.header(), first.header())
 		}

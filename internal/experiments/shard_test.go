@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -99,6 +100,8 @@ func TestShardPartitionCoversEveryExperiment(t *testing.T) {
 
 // TestMergeShardsRejectsBadSets: incomplete, duplicated or mismatched
 // shard sets must fail loudly rather than merge into a wrong result.
+// Table-driven over every header and partition invariant MergeShards
+// enforces; each case corrupts a fresh copy of a valid two-shard set.
 func TestMergeShardsRejectsBadSets(t *testing.T) {
 	o := shardTestOptions()
 	s0, err := RunShard(o, "table2", 0, 2)
@@ -109,29 +112,97 @@ func TestMergeShardsRejectsBadSets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	if _, err := MergeShards(nil); err == nil {
-		t.Error("empty merge accepted")
-	}
-	if _, err := MergeShards([]*ShardFile{s0}); err == nil {
-		t.Error("incomplete shard set accepted")
-	}
-	if _, err := MergeShards([]*ShardFile{s0, s0}); err == nil {
-		t.Error("duplicate shard accepted")
-	}
 	oo := o
 	oo.Instructions++
 	x1, err := RunShard(oo, "table2", 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := MergeShards([]*ShardFile{s0, x1}); err == nil {
-		t.Error("mixed-scale shard set accepted")
+
+	// clone deep-copies a shard file so a case can corrupt it freely.
+	clone := func(sf *ShardFile) *ShardFile {
+		c := *sf
+		c.Results = make(map[string]*RecordedResult, len(sf.Results))
+		for k, r := range sf.Results {
+			rr := *r
+			c.Results[k] = &rr
+		}
+		return &c
 	}
-	bad := *s0
-	bad.Schema = ShardSchema + 1
-	if _, err := MergeShards([]*ShardFile{&bad, s1}); err == nil {
-		t.Error("wrong-schema shard accepted")
+	anyKey := func(sf *ShardFile) string {
+		for k := range sf.Results {
+			return k
+		}
+		t.Fatal("shard holds no results")
+		return ""
+	}
+
+	cases := []struct {
+		name  string
+		files func() []*ShardFile
+		want  string // substring the error must contain
+	}{
+		{"empty set", func() []*ShardFile { return nil }, "zero shard files"},
+		{"incomplete set", func() []*ShardFile { return []*ShardFile{s0} }, "1 shard files"},
+		{"duplicate shard index", func() []*ShardFile { return []*ShardFile{s0, s0} }, "supplied twice"},
+		{"mixed scale", func() []*ShardFile { return []*ShardFile{s0, x1} }, "header mismatch"},
+		{"wrong schema", func() []*ShardFile {
+			b := clone(s0)
+			b.Schema = ShardSchema + 1
+			return []*ShardFile{b, s1}
+		}, "schema"},
+		{"mismatched experiment", func() []*ShardFile {
+			b := clone(s1)
+			b.Experiment = "fig2"
+			return []*ShardFile{s0, b}
+		}, "header mismatch"},
+		{"mismatched contexts", func() []*ShardFile {
+			b := clone(s1)
+			b.Contexts = 4 // an SMT shard can never merge with a single-threaded one
+			return []*ShardFile{s0, b}
+		}, "header mismatch"},
+		{"mismatched seed", func() []*ShardFile {
+			b := clone(s1)
+			b.Seed++
+			return []*ShardFile{s0, b}
+		}, "header mismatch"},
+		{"mismatched benchmarks", func() []*ShardFile {
+			b := clone(s1)
+			b.Benchmarks = []string{"swim"}
+			return []*ShardFile{s0, b}
+		}, "header mismatch"},
+		{"shard index beyond NumShards", func() []*ShardFile {
+			b := clone(s1)
+			b.Shard = 5 // claims shard 5 of a 2-shard sweep
+			return []*ShardFile{s0, b}
+		}, "out of range"},
+		{"negative shard index", func() []*ShardFile {
+			b := clone(s1)
+			b.Shard = -1
+			return []*ShardFile{s0, b}
+		}, "out of range"},
+		{"overlapping grid point", func() []*ShardFile {
+			b := clone(s1)
+			k := anyKey(s0)
+			b.Results[k] = s0.Results[k] // the same point in both shards
+			return []*ShardFile{s0, b}
+		}, "more than one shard"},
+		{"missing grid point", func() []*ShardFile {
+			b := clone(s1)
+			delete(b.Results, anyKey(b))
+			return []*ShardFile{s0, b}
+		}, "grid has"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := MergeShards(c.files())
+			if err == nil {
+				t.Fatalf("%s accepted", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
 	}
 }
 

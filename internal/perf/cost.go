@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Per-point cost estimation for the sweep coordinator. A static
+// round-robin partition (-shard i/n) balances heterogeneous grids
+// poorly: per-point cost varies by workload (swim's long dependence
+// chains simulate several times slower per instruction than gcc) and
+// by context count, so one shard can finish long before another. The
+// coordinator instead orders its job queue most-expensive-first
+// (longest-processing-time scheduling) using measured wall-clock cost
+// from the newest checked-in BENCH_<n>.json baseline, falling back to
+// an instruction-count heuristic for workloads the baseline never
+// measured.
+
+// CostModel prices one grid point: wall nanoseconds per simulated
+// instruction per workload, measured from a perf baseline's pinned
+// machine workloads. The zero value (and a nil model) price purely by
+// instruction count, which still orders SMT points above
+// single-context ones.
+type CostModel struct {
+	nsPerInst map[string]float64
+	defaultNs float64
+}
+
+// NewCostModel builds a cost model from a measured baseline. Each
+// machine workload with simulated-instruction telemetry contributes
+// its ns-per-simulated-instruction to every benchmark named in its
+// workload name ("table1_segmented_swim" prices swim;
+// "smt_sweep5_swim_twolf_cold" prices swim and twolf); a benchmark
+// measured by several workloads gets their mean. Benchmarks the
+// baseline never measured are priced at the mean over measured ones.
+func NewCostModel(b Baseline) *CostModel {
+	known := make(map[string]bool)
+	for _, name := range trace.Names() {
+		known[name] = true
+	}
+	sum := make(map[string]float64)
+	n := make(map[string]int)
+	for _, w := range b.Workloads {
+		if w.SimInstructions <= 0 || w.NsPerOp <= 0 {
+			continue
+		}
+		perInst := w.NsPerOp / float64(w.SimInstructions)
+		for _, tok := range strings.Split(w.Name, "_") {
+			if known[tok] {
+				sum[tok] += perInst
+				n[tok]++
+			}
+		}
+	}
+	m := &CostModel{nsPerInst: make(map[string]float64, len(sum))}
+	var total float64
+	for bench, s := range sum {
+		v := s / float64(n[bench])
+		m.nsPerInst[bench] = v
+		total += v
+	}
+	if len(m.nsPerInst) > 0 {
+		m.defaultNs = total / float64(len(m.nsPerInst))
+	}
+	return m
+}
+
+// LoadCostModel reads the highest-numbered BENCH_<n>.json in dir (via
+// LatestBaseline) and builds a cost model from it. An error means no
+// usable baseline; callers fall back to a nil model (instruction-count
+// costs) rather than failing.
+func LoadCostModel(dir string) (*CostModel, error) {
+	path, err := LatestBaseline(dir)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ReadJSON(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewCostModel(b), nil
+}
+
+// Cost estimates the wall cost of one grid point: workload is the
+// "+"-joined context set, insts the measured instructions per point.
+// With measured data the unit is nanoseconds; without, it degrades to
+// instruction counts — either way costs are comparable within one
+// grid, which is all ordering needs.
+func (m *CostModel) Cost(workload string, insts int64) float64 {
+	var total float64
+	for _, part := range strings.Split(workload, "+") {
+		ns := 1.0
+		if m != nil && len(m.nsPerInst) > 0 {
+			ns = m.defaultNs
+			if v, ok := m.nsPerInst[part]; ok {
+				ns = v
+			}
+		}
+		total += ns * float64(insts)
+	}
+	return total
+}

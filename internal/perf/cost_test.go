@@ -1,0 +1,102 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// costBaseline is a hand-built capture: swim measured 3× slower per
+// instruction than gcc, twolf measured only through an SMT pair, and
+// applu never measured at all.
+func costBaseline() Baseline {
+	return Baseline{
+		Schema: Schema,
+		Workloads: []Metrics{
+			{Name: "table1_segmented_swim", NsPerOp: 3e9, SimInstructions: 1e6},
+			{Name: "table1_segmented_gcc", NsPerOp: 1e9, SimInstructions: 1e6},
+			{Name: "smt_sweep5_swim_twolf_cold", NsPerOp: 4e9, SimInstructions: 2e6},
+			{Name: "segmented_queue_cycle_512", NsPerOp: 9500}, // no telemetry: ignored
+		},
+	}
+}
+
+func TestCostModelFromBaseline(t *testing.T) {
+	m := NewCostModel(costBaseline())
+
+	// swim: mean of 3000 (table1) and 2000 (smt pair) ns/inst; gcc 1000;
+	// twolf 2000 (smt pair only).
+	swim := m.Cost("swim", 1000)
+	gcc := m.Cost("gcc", 1000)
+	twolf := m.Cost("twolf", 1000)
+	if swim != 2500e3 {
+		t.Fatalf("swim cost = %g, want 2.5e6", swim)
+	}
+	if gcc != 1000e3 {
+		t.Fatalf("gcc cost = %g, want 1e6", gcc)
+	}
+	if twolf != 2000e3 {
+		t.Fatalf("twolf cost = %g, want 2e6", twolf)
+	}
+	// An unmeasured benchmark prices at the mean of measured ones.
+	applu := m.Cost("applu", 1000)
+	want := (2500.0 + 1000 + 2000) / 3 * 1000
+	if applu != want {
+		t.Fatalf("applu (unmeasured) cost = %g, want the mean %g", applu, want)
+	}
+	// An SMT point costs the sum of its contexts, so it sorts above
+	// either context alone.
+	pair := m.Cost("swim+gcc", 1000)
+	if pair != swim+gcc {
+		t.Fatalf("swim+gcc cost = %g, want %g", pair, swim+gcc)
+	}
+}
+
+// TestCostModelFallback: a nil model and an empty baseline both price
+// by instruction count × context count — enough to order SMT points
+// above single-context ones deterministically.
+func TestCostModelFallback(t *testing.T) {
+	var nilModel *CostModel
+	for _, m := range []*CostModel{nilModel, NewCostModel(Baseline{})} {
+		if got := m.Cost("swim", 5000); got != 5000 {
+			t.Fatalf("fallback single-context cost = %g, want 5000", got)
+		}
+		if got := m.Cost("swim+twolf", 5000); got != 10000 {
+			t.Fatalf("fallback SMT cost = %g, want 10000", got)
+		}
+	}
+}
+
+// TestLoadCostModel: the loader reads the highest-numbered baseline in
+// a directory and errors (rather than panicking or inventing data)
+// when there is none.
+func TestLoadCostModel(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCostModel(dir); err == nil {
+		t.Fatal("empty directory produced a cost model")
+	}
+	b := costBaseline()
+	if err := b.WriteJSON(filepath.Join(dir, "BENCH_3.json")); err != nil {
+		t.Fatal(err)
+	}
+	// A stale lower-numbered baseline with different numbers must lose.
+	stale := Baseline{Schema: Schema, Workloads: []Metrics{
+		{Name: "table1_segmented_swim", NsPerOp: 1e9, SimInstructions: 1e6},
+	}}
+	if err := stale.WriteJSON(filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadCostModel(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cost("swim", 1000); got != 2500e3 {
+		t.Fatalf("loaded model swim cost = %g, want 2.5e6 (from BENCH_3)", got)
+	}
+	// The checked-in repository baselines themselves must load.
+	if _, err := os.Stat("../../BENCH_8.json"); err == nil {
+		if _, err := LoadCostModel("../.."); err != nil {
+			t.Fatalf("checked-in baselines unusable: %v", err)
+		}
+	}
+}

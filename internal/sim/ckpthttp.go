@@ -11,7 +11,6 @@ import (
 	"net/url"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -21,11 +20,16 @@ import (
 // without a shared filesystem. Transient trouble — connection errors
 // and 5xx responses — is retried with exponential backoff and jitter;
 // once the retry budget is exhausted the store latches degraded and
-// every later call fails fast with ErrStoreUnavailable, which the
-// StoreClient turns into silent local warmups. Concurrent Gets of the
-// same key are coalesced into one request (single-flight), so a grid's
-// worth of workers warming the same workload does not stampede the
-// server.
+// later calls fail fast with ErrStoreUnavailable, which the
+// StoreClient turns into silent local warmups. The latch is not
+// permanent: after CoolDown one call is admitted as a half-open probe
+// (a single attempt, no retries), and a reachable server un-latches
+// the store — so a store or coordinator restart mid-sweep restores
+// warmup sharing instead of disabling it for the rest of the process.
+// While the outage lasts, each failed probe restarts the cool-down,
+// keeping every other call fail-fast. Concurrent Gets of the same key
+// are coalesced into one request (single-flight), so a grid's worth of
+// workers warming the same workload does not stampede the server.
 type HTTPStore struct {
 	// BaseURL locates the server, e.g. "http://10.0.0.7:8377".
 	BaseURL string
@@ -34,16 +38,26 @@ type HTTPStore struct {
 	Client *http.Client
 	// Retries bounds the attempts beyond the first for one operation.
 	Retries int
-	// Backoff is the first retry's delay; it doubles per attempt, plus
-	// up to 100% jitter so synchronized shards desynchronize.
+	// Backoff is the first retry's delay; it doubles per attempt (capped
+	// at maxBackoffStep), plus up to 100% jitter so synchronized shards
+	// desynchronize.
 	Backoff time.Duration
+	// CoolDown is how long the store stays latched degraded before one
+	// half-open probe is allowed through. Zero means the default 5 s.
+	CoolDown time.Duration
 	// Stats, when non-nil, receives retry and byte counts. (Hit/miss
 	// accounting lives in StoreClient; the same *StoreStats is shared.)
 	Stats *StoreStats
 
-	degraded atomic.Bool
-	mu       sync.Mutex
-	inflight map[string]*flight
+	// sleep and now are swapped out by tests; nil means the real clock.
+	sleep func(time.Duration)
+	now   func() time.Time
+
+	mu         sync.Mutex
+	inflight   map[string]*flight
+	degraded   bool
+	degradedAt time.Time
+	probing    bool
 }
 
 // flight is one in-progress Get shared by every concurrent caller of
@@ -65,8 +79,70 @@ func NewHTTPStore(baseURL string) *HTTPStore {
 	}
 }
 
-// Degraded reports whether the store has latched unavailable.
-func (st *HTTPStore) Degraded() bool { return st.degraded.Load() }
+// Degraded reports whether the store is currently latched unavailable.
+func (st *HTTPStore) Degraded() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.degraded
+}
+
+func (st *HTTPStore) clock() time.Time {
+	if st.now != nil {
+		return st.now()
+	}
+	return time.Now()
+}
+
+func (st *HTTPStore) coolDown() time.Duration {
+	if st.CoolDown > 0 {
+		return st.CoolDown
+	}
+	return 5 * time.Second
+}
+
+// admit gates one call against the degraded latch: a healthy store
+// admits everyone, a freshly latched store fails everyone fast, and a
+// store past its cool-down admits exactly one caller as the half-open
+// probe (probe == true) while the rest keep failing fast until the
+// probe reports back.
+func (st *HTTPStore) admit() (probe bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.degraded {
+		return false, nil
+	}
+	if !st.probing && st.clock().Sub(st.degradedAt) >= st.coolDown() {
+		st.probing = true
+		return true, nil
+	}
+	return false, ErrStoreUnavailable
+}
+
+// probeDone records a half-open probe's outcome: any response from the
+// server (success or a protocol-level rejection) proves it reachable
+// and un-latches the store; a transport-level failure restarts the
+// cool-down with the latch still set.
+func (st *HTTPStore) probeDone(reachable bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.probing = false
+	if reachable {
+		st.degraded = false
+		st.stats().Recoveries.Add(1)
+	} else {
+		st.degradedAt = st.clock()
+	}
+}
+
+// latch marks the store degraded after an exhausted retry budget.
+func (st *HTTPStore) latch() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.degraded {
+		st.degraded = true
+		st.degradedAt = st.clock()
+	}
+}
 
 func (st *HTTPStore) keyURL(key string) string {
 	return st.BaseURL + "/ckpt/" + url.PathEscape(key)
@@ -82,8 +158,20 @@ func (st *HTTPStore) stats() *StoreStats {
 // Get implements CheckpointStore, coalescing concurrent same-key
 // requests.
 func (st *HTTPStore) Get(key string) ([]byte, error) {
-	if st.degraded.Load() {
-		return nil, ErrStoreUnavailable
+	probe, err := st.admit()
+	if err != nil {
+		return nil, err
+	}
+	if probe {
+		// Half-open trial: one attempt, no retries, no single-flight. A
+		// retryable failure means the server is still down; anything else
+		// (including a miss) proves it back and resets the latch.
+		data, retryable, err := st.getOnce(key)
+		st.probeDone(err == nil || !retryable)
+		if err != nil && retryable {
+			return nil, fmt.Errorf("%w: probe: %v", ErrStoreUnavailable, err)
+		}
+		return data, err
 	}
 	st.mu.Lock()
 	if f := st.inflight[key]; f != nil {
@@ -109,8 +197,19 @@ func (st *HTTPStore) Get(key string) ([]byte, error) {
 
 // Put implements CheckpointStore.
 func (st *HTTPStore) Put(key string, data []byte) error {
-	if st.degraded.Load() {
-		return ErrStoreUnavailable
+	probe, aerr := st.admit()
+	if aerr != nil {
+		return aerr
+	}
+	if probe {
+		err := st.putOnce(key, data)
+		var pe *permanentError
+		reachable := err == nil || errors.As(err, &pe)
+		st.probeDone(reachable)
+		if err != nil && !reachable {
+			return fmt.Errorf("%w: probe: %v", ErrStoreUnavailable, err)
+		}
+		return err
 	}
 	_, err := st.retry("PUT", key, func() ([]byte, bool, error) {
 		err := st.putOnce(key, data)
@@ -134,19 +233,50 @@ func (st *HTTPStore) retry(verb, key string, attempt func() ([]byte, bool, error
 			return data, err
 		}
 		if try >= st.Retries {
-			st.degraded.Store(true)
+			st.latch()
 			return nil, fmt.Errorf("%w: %s %s failed %d times, last: %v",
 				ErrStoreUnavailable, verb, key, try+1, err)
 		}
 		if verb == "GET" {
 			st.stats().GetRetries.Add(1)
 		}
-		d := st.Backoff << try
-		if d <= 0 {
-			d = time.Millisecond
-		}
-		time.Sleep(d + rand.N(d)) // full jitter on top of the exponential step
+		st.sleepFor(backoffStep(st.Backoff, try))
 	}
+}
+
+// maxBackoffStep caps one exponential backoff step. Without the cap a
+// raised retry budget shifts the step past the time.Duration range —
+// `base << try` goes negative around try 38 for a 100 ms base — and a
+// negative "delay" used to collapse to 1 ms, turning the tail of a long
+// budget into a hot retry loop.
+const maxBackoffStep = 30 * time.Second
+
+// backoffStep returns the exponential delay for retry number try:
+// base doubled per attempt, clamped to [1ms, maxBackoffStep], computed
+// by repeated doubling so no shift ever overflows.
+func backoffStep(base time.Duration, try int) time.Duration {
+	d := base
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 0; i < try && d < maxBackoffStep; i++ {
+		d <<= 1
+	}
+	if d > maxBackoffStep {
+		d = maxBackoffStep
+	}
+	return d
+}
+
+// sleepFor sleeps the step plus up to 100% jitter, through the test
+// hook when one is installed.
+func (st *HTTPStore) sleepFor(d time.Duration) {
+	d += rand.N(d) // full jitter on top of the exponential step
+	if st.sleep != nil {
+		st.sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 func (st *HTTPStore) getOnce(key string) (data []byte, retryable bool, err error) {

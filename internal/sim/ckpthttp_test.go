@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression tests for the two HTTPStore failure-path bugs: the
+// degraded latch that never un-latched (a store restart mid-sweep lost
+// all later warmup sharing), and the backoff shift that overflowed
+// time.Duration under a raised retry budget.
+
+// TestHTTPStoreRecoversAfterCoolDown: a store that latched degraded
+// must, after the cool-down, admit one half-open probe; while the
+// outage lasts the probe fails and everyone else keeps failing fast,
+// and once the server is back a single probe un-latches the store and
+// counts a recovery.
+func TestHTTPStoreRecoversAfterCoolDown(t *testing.T) {
+	var down atomic.Bool
+	var calls atomic.Int64
+	down.Store(true)
+	inner := NewStoreHandler(t.TempDir())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if down.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	now := time.Unix(1000, 0)
+	hs := NewHTTPStore(srv.URL)
+	hs.Retries = 1
+	hs.Backoff = time.Millisecond
+	hs.CoolDown = time.Second
+	hs.now = func() time.Time { return now }
+	stats := &StoreStats{}
+	hs.Stats = stats
+
+	const key = "ck_rec_s1_w1_g0000000000000000.ckpt"
+	if err := hs.Put(key, []byte("blob")); !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("Put against a down server = %v, want ErrStoreUnavailable", err)
+	}
+	if !hs.Degraded() {
+		t.Fatal("store did not latch degraded")
+	}
+
+	// Inside the cool-down every call fails fast, no requests sent.
+	before := calls.Load()
+	if _, err := hs.Get(key); !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("Get inside cool-down = %v, want ErrStoreUnavailable", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("latched store sent a request inside the cool-down")
+	}
+
+	// Past the cool-down with the server still down: exactly one probe
+	// goes out, fails, and restarts the cool-down.
+	now = now.Add(hs.CoolDown + time.Millisecond)
+	if _, err := hs.Get(key); !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("probe against a down server = %v, want ErrStoreUnavailable", err)
+	}
+	if got := calls.Load(); got != before+1 {
+		t.Fatalf("failed probe sent %d requests, want 1", got-before)
+	}
+	if !hs.Degraded() {
+		t.Fatal("failed probe un-latched the store")
+	}
+	before = calls.Load()
+	if _, err := hs.Get(key); !errors.Is(err, ErrStoreUnavailable) || calls.Load() != before {
+		t.Fatal("cool-down did not restart after the failed probe")
+	}
+
+	// Server restarts; the next probe (even one answered 404) proves it
+	// reachable and resets the latch.
+	down.Store(false)
+	now = now.Add(hs.CoolDown + time.Millisecond)
+	if _, err := hs.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("probe against the recovered server = %v, want ErrNotFound", err)
+	}
+	if hs.Degraded() {
+		t.Fatal("successful probe left the store degraded")
+	}
+	if got := stats.Recoveries.Load(); got != 1 {
+		t.Fatalf("Recoveries = %d, want 1", got)
+	}
+	// Fully back in business: sharing works again for the rest of the
+	// process.
+	if err := hs.Put(key, []byte("blob")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if data, err := hs.Get(key); err != nil || string(data) != "blob" {
+		t.Fatalf("Get after recovery = %q, %v", data, err)
+	}
+}
+
+// TestHTTPStorePutProbeRecovers: a half-open Put whose request reaches
+// the server — even if rejected 4xx — proves it back and un-latches.
+func TestHTTPStorePutProbeRecovers(t *testing.T) {
+	srv := httptest.NewServer(NewStoreHandler(t.TempDir()))
+	defer srv.Close()
+
+	now := time.Unix(1000, 0)
+	hs := NewHTTPStore(srv.URL)
+	hs.CoolDown = time.Second
+	hs.now = func() time.Time { return now }
+	stats := &StoreStats{}
+	hs.Stats = stats
+	hs.latch()
+
+	now = now.Add(2 * time.Second)
+	// An invalid key draws a 400: a protocol rejection, but proof the
+	// server is alive.
+	if err := hs.Put("not a valid key", []byte("x")); err == nil || errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("probe Put = %v, want the server's 4xx rejection", err)
+	}
+	if hs.Degraded() {
+		t.Fatal("reachable server's rejection left the store degraded")
+	}
+	if got := stats.Recoveries.Load(); got != 1 {
+		t.Fatalf("Recoveries = %d, want 1", got)
+	}
+}
+
+// TestHTTPStoreBackoffCapped: a large retry budget must never produce
+// a negative or unbounded sleep. The old `Backoff << try` overflowed
+// into negative durations (collapsed to 1 ms — a hot retry loop) by
+// try 38 for a 100 ms base.
+func TestHTTPStoreBackoffCapped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	hs := NewHTTPStore(srv.URL)
+	hs.Retries = 64 // enough to overflow any shift-based step
+	hs.Backoff = time.Millisecond
+	var slept []time.Duration
+	hs.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	if _, err := hs.Get("ck_x_s1_w1_g0000000000000000.ckpt"); !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("Get = %v, want ErrStoreUnavailable", err)
+	}
+	if len(slept) != hs.Retries {
+		t.Fatalf("recorded %d sleeps, want %d", len(slept), hs.Retries)
+	}
+	for i, d := range slept {
+		if d <= 0 {
+			t.Fatalf("sleep %d is %v — the shift overflowed", i, d)
+		}
+		if d > 2*maxBackoffStep { // step + up to 100% jitter
+			t.Fatalf("sleep %d is %v, exceeds the %v cap (+jitter)", i, d, maxBackoffStep)
+		}
+	}
+}
+
+// TestBackoffStep pins the step function itself: doubling from the
+// base, clamped to [1ms, maxBackoffStep] for any base and try.
+func TestBackoffStep(t *testing.T) {
+	cases := []struct {
+		base time.Duration
+		try  int
+		want time.Duration
+	}{
+		{100 * time.Millisecond, 0, 100 * time.Millisecond},
+		{100 * time.Millisecond, 3, 800 * time.Millisecond},
+		{100 * time.Millisecond, 100, maxBackoffStep},
+		{0, 0, time.Millisecond},
+		{0, 4, 16 * time.Millisecond},
+		{-time.Second, 2, 4 * time.Millisecond},
+		{time.Hour, 5, maxBackoffStep},
+		{maxBackoffStep, 1 << 40, maxBackoffStep},
+	}
+	for _, c := range cases {
+		if got := backoffStep(c.base, c.try); got != c.want {
+			t.Errorf("backoffStep(%v, %d) = %v, want %v", c.base, c.try, got, c.want)
+		}
+	}
+}

@@ -187,6 +187,9 @@ type StoreStats struct {
 	// GetRetries counts remote Get attempts beyond the first, i.e.
 	// transient connection errors and 5xx responses survived.
 	GetRetries atomic.Int64
+	// Recoveries counts degraded latches reset by a successful
+	// half-open probe (the store came back mid-sweep).
+	Recoveries atomic.Int64
 	// Fallbacks counts warmups simulated locally because the store was
 	// unreachable or failing (as opposed to a clean miss).
 	Fallbacks atomic.Int64
@@ -211,6 +214,9 @@ func (s *StoreStats) String() string {
 	if v := s.GetRetries.Load(); v != 0 {
 		fmt.Fprintf(&b, " get-retries=%d", v)
 	}
+	if v := s.Recoveries.Load(); v != 0 {
+		fmt.Fprintf(&b, " recoveries=%d", v)
+	}
 	if v := s.BytesRead.Load(); v != 0 {
 		fmt.Fprintf(&b, " bytes-read=%d", v)
 	}
@@ -233,6 +239,7 @@ func (s *StoreStats) Values() map[string]int64 {
 	add("misses", s.Misses.Load())
 	add("put_failures", s.PutFailures.Load())
 	add("get_retries", s.GetRetries.Load())
+	add("recoveries", s.Recoveries.Load())
 	add("fallbacks", s.Fallbacks.Load())
 	add("bytes_read", s.BytesRead.Load())
 	add("bytes_written", s.BytesWritten.Load())
